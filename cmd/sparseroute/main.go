@@ -1,0 +1,370 @@
+// Command sparseroute is the deployment-style workflow tool: generate a
+// topology, generate demands, sample a semi-oblivious path system from an
+// oblivious routing (the offline "install paths" phase), adapt the sending
+// rates to a revealed demand (the online phase), and evaluate competitive
+// ratios. All artifacts are JSON files (see internal/serial).
+//
+// Subcommands:
+//
+//	sparseroute topo    -kind hypercube -dim 6 -out topo.json
+//	sparseroute demand  -topo topo.json -kind permutation -pairs 16 -out d.json
+//	sparseroute sample  -topo topo.json -router raecke -s 4 -demand d.json -out sys.json
+//	sparseroute adapt   -topo topo.json -system sys.json -demand d.json -out routing.json
+//	sparseroute eval    -topo topo.json -system sys.json -demand d.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"sparseroute/internal/core"
+	"sparseroute/internal/demand"
+	"sparseroute/internal/graph"
+	"sparseroute/internal/graph/gen"
+	"sparseroute/internal/mcf"
+	"sparseroute/internal/oblivious"
+	"sparseroute/internal/serial"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "topo":
+		err = cmdTopo(os.Args[2:])
+	case "demand":
+		err = cmdDemand(os.Args[2:])
+	case "sample":
+		err = cmdSample(os.Args[2:])
+	case "adapt":
+		err = cmdAdapt(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sparseroute:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sparseroute {topo|demand|sample|adapt|eval|inspect} [flags]  (-h per subcommand)")
+	os.Exit(2)
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	topo := fs.String("topo", "topo.json", "topology file")
+	system := fs.String("system", "system.json", "path system file")
+	fs.Parse(args)
+
+	g, err := loadGraph(*topo)
+	if err != nil {
+		return err
+	}
+	ps, err := loadSystem(*system, g)
+	if err != nil {
+		return err
+	}
+	st := ps.Stats()
+	fmt.Printf("graph:              %s\n", g)
+	fmt.Printf("pairs:              %d\n", st.Pairs)
+	fmt.Printf("total paths:        %d (sparsity %d, unique %d, mean unique %.2f)\n",
+		st.TotalPaths, st.Sparsity, st.UniqueSparsity, st.MeanUnique)
+	fmt.Printf("hops:               mean %.2f, max %d, mean stretch %.2f\n",
+		st.MeanHops, st.MaxHops, st.MeanStretch)
+	fmt.Printf("edge-disjoint pairs: %.1f%%\n", 100*st.DisjointFraction)
+	return nil
+}
+
+func loadGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return serial.DecodeGraph(f)
+}
+
+func loadDemand(path string) (*demand.Demand, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return serial.DecodeDemand(f)
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func cmdTopo(args []string) error {
+	fs := flag.NewFlagSet("topo", flag.ExitOnError)
+	kind := fs.String("kind", "hypercube", "hypercube|grid|torus|expander|wan|fattree|ring")
+	dim := fs.Int("dim", 6, "hypercube dimension")
+	rows := fs.Int("rows", 6, "grid/torus rows")
+	cols := fs.Int("cols", 6, "grid/torus cols")
+	n := fs.Int("n", 32, "vertex count (expander/wan/ring)")
+	deg := fs.Int("deg", 4, "expander degree")
+	extra := fs.Int("extra", 32, "wan shortcut edges")
+	arity := fs.Int("arity", 4, "fat-tree arity")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "topo.json", "output file")
+	fs.Parse(args)
+
+	rng := rand.New(rand.NewPCG(*seed, 0x70))
+	var g *graph.Graph
+	switch *kind {
+	case "hypercube":
+		g = gen.Hypercube(*dim)
+	case "grid":
+		g = gen.Grid(*rows, *cols)
+	case "torus":
+		g = gen.Torus(*rows, *cols)
+	case "expander":
+		g = gen.RandomRegular(*n, *deg, rng)
+	case "wan":
+		g = gen.SyntheticWAN(*n, *extra, rng)
+	case "fattree":
+		g, _ = gen.FatTree(*arity)
+	case "ring":
+		g = gen.Ring(*n)
+	default:
+		return fmt.Errorf("unknown topology kind %q", *kind)
+	}
+	if err := writeFile(*out, func(f *os.File) error { return serial.EncodeGraph(f, g) }); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s\n", *out, g)
+	return nil
+}
+
+func cmdDemand(args []string) error {
+	fs := flag.NewFlagSet("demand", flag.ExitOnError)
+	topo := fs.String("topo", "topo.json", "topology file")
+	kind := fs.String("kind", "permutation", "permutation|gravity|uniform|transpose|bitreversal")
+	pairs := fs.Int("pairs", 16, "number of demand pairs")
+	total := fs.Float64("total", 0, "total gravity demand (default: n)")
+	amount := fs.Float64("amount", 1, "per-pair amount for uniform demands")
+	dim := fs.Int("dim", 6, "hypercube dimension (transpose/bitreversal)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "demand.json", "output file")
+	fs.Parse(args)
+
+	g, err := loadGraph(*topo)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewPCG(*seed, 0xde))
+	var d *demand.Demand
+	switch *kind {
+	case "permutation":
+		d = demand.RandomPermutation(g.NumVertices(), *pairs, rng)
+	case "gravity":
+		tot := *total
+		if tot <= 0 {
+			tot = float64(g.NumVertices())
+		}
+		d = demand.Gravity(g, tot, *pairs, rng)
+	case "uniform":
+		d = demand.UniformPairs(g.NumVertices(), *pairs, *amount, rng)
+	case "transpose":
+		d = demand.Transpose(*dim)
+	case "bitreversal":
+		d = demand.BitReversal(*dim)
+	default:
+		return fmt.Errorf("unknown demand kind %q", *kind)
+	}
+	if err := writeFile(*out, func(f *os.File) error { return serial.EncodeDemand(f, d) }); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s\n", *out, d)
+	return nil
+}
+
+func buildRouter(name string, g *graph.Graph, dim, trees, k int, seed uint64) (oblivious.Router, error) {
+	switch name {
+	case "raecke":
+		return oblivious.NewRaecke(g, &oblivious.RaeckeOptions{NumTrees: trees}, rand.New(rand.NewPCG(seed, 0xa)))
+	case "valiant":
+		return oblivious.NewValiant(g, dim)
+	case "electrical":
+		return oblivious.NewElectrical(g)
+	case "ksp":
+		return oblivious.NewKSP(g, k, nil), nil
+	case "spf":
+		return oblivious.NewSPF(g), nil
+	case "detour":
+		return oblivious.NewRandomDetour(g)
+	default:
+		return nil, fmt.Errorf("unknown router %q", name)
+	}
+}
+
+func cmdSample(args []string) error {
+	fs := flag.NewFlagSet("sample", flag.ExitOnError)
+	topo := fs.String("topo", "topo.json", "topology file")
+	dmd := fs.String("demand", "", "demand file (sample its pairs; empty = all pairs)")
+	routerName := fs.String("router", "raecke", "raecke|valiant|electrical|ksp|spf|detour")
+	s := fs.Int("s", 4, "paths per pair (R)")
+	withCuts := fs.Bool("lambda", false, "sample R + lambda(u,v) paths (non-unit demands)")
+	maxLambda := fs.Int("maxlambda", 0, "cap on lambda (0 = uncapped)")
+	dim := fs.Int("dim", 6, "hypercube dimension (valiant)")
+	trees := fs.Int("trees", 12, "raecke tree count")
+	k := fs.Int("k", 4, "ksp path count")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "system.json", "output file")
+	fs.Parse(args)
+
+	g, err := loadGraph(*topo)
+	if err != nil {
+		return err
+	}
+	var pairs []demand.Pair
+	if *dmd == "" {
+		pairs = core.AllPairs(g.NumVertices())
+	} else {
+		d, err := loadDemand(*dmd)
+		if err != nil {
+			return err
+		}
+		pairs = d.Support()
+	}
+	router, err := buildRouter(*routerName, g, *dim, *trees, *k, *seed)
+	if err != nil {
+		return err
+	}
+	var ps *core.PathSystem
+	if *withCuts {
+		ps, err = core.RPlusLambdaSample(router, pairs, *s, *maxLambda, *seed)
+	} else {
+		ps, err = core.RSample(router, pairs, *s, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	if err := writeFile(*out, func(f *os.File) error { return serial.EncodePathSystem(f, ps) }); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d paths, sparsity %d, max hops %d\n",
+		*out, ps.TotalPaths(), ps.Sparsity(), ps.MaxHops())
+	return nil
+}
+
+func loadSystem(path string, g *graph.Graph) (*core.PathSystem, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return serial.DecodePathSystem(f, g)
+}
+
+func cmdAdapt(args []string) error {
+	fs := flag.NewFlagSet("adapt", flag.ExitOnError)
+	topo := fs.String("topo", "topo.json", "topology file")
+	system := fs.String("system", "system.json", "path system file")
+	dmd := fs.String("demand", "demand.json", "demand file")
+	integral := fs.Bool("integral", false, "round to one path per packet")
+	seed := fs.Uint64("seed", 1, "random seed (integral rounding)")
+	out := fs.String("out", "routing.json", "output file")
+	fs.Parse(args)
+
+	g, err := loadGraph(*topo)
+	if err != nil {
+		return err
+	}
+	ps, err := loadSystem(*system, g)
+	if err != nil {
+		return err
+	}
+	d, err := loadDemand(*dmd)
+	if err != nil {
+		return err
+	}
+	var routing interface {
+		MaxCongestion(*graph.Graph) float64
+		Dilation() int
+	}
+	if *integral {
+		r, err := ps.AdaptIntegral(d, nil, rand.New(rand.NewPCG(*seed, 0x1)))
+		if err != nil {
+			return err
+		}
+		routing = r
+		if err := writeFile(*out, func(f *os.File) error { return serial.EncodeRouting(f, g, r) }); err != nil {
+			return err
+		}
+	} else {
+		r, err := ps.Adapt(d, nil)
+		if err != nil {
+			return err
+		}
+		routing = r
+		if err := writeFile(*out, func(f *os.File) error { return serial.EncodeRouting(f, g, r) }); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %s: congestion %.4f, dilation %d\n",
+		*out, routing.MaxCongestion(g), routing.Dilation())
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	topo := fs.String("topo", "topo.json", "topology file")
+	system := fs.String("system", "system.json", "path system file")
+	dmd := fs.String("demand", "demand.json", "demand file")
+	optIters := fs.Int("optiters", 400, "MWU iterations for the OPT baseline")
+	fs.Parse(args)
+
+	g, err := loadGraph(*topo)
+	if err != nil {
+		return err
+	}
+	ps, err := loadSystem(*system, g)
+	if err != nil {
+		return err
+	}
+	d, err := loadDemand(*dmd)
+	if err != nil {
+		return err
+	}
+	adapted, err := ps.Adapt(d, nil)
+	if err != nil {
+		return err
+	}
+	semi := adapted.MaxCongestion(g)
+	cert, err := mcf.ApproxOptWithCertificate(g, d, &mcf.Options{Iterations: *optIters})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("semi-oblivious congestion: %.4f\n", semi)
+	fmt.Printf("certified OPT interval:    [%.4f, %.4f] (gap %.3f)\n", cert.Lower, cert.Upper, cert.Gap())
+	if cert.Upper > 0 {
+		fmt.Printf("competitive ratio:         %.3f (certified <= %.3f)\n",
+			semi/cert.Upper, semi/cert.Lower)
+	}
+	fmt.Println("hottest links:")
+	for _, h := range adapted.HotEdges(g, 5) {
+		fmt.Printf("  (%d,%d) load %.3f / cap %.0f = %.3f\n", h.U, h.V, h.Load, h.Capacity, h.Congestion)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWorkflowEndToEnd drives every subcommand through temp files: generate
+// topology -> demand -> sampled system -> adaptation -> evaluation.
+func TestWorkflowEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	topo := filepath.Join(dir, "topo.json")
+	dmd := filepath.Join(dir, "demand.json")
+	sys := filepath.Join(dir, "system.json")
+	routing := filepath.Join(dir, "routing.json")
+
+	if err := cmdTopo([]string{"-kind", "grid", "-rows", "4", "-cols", "4", "-out", topo}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDemand([]string{"-topo", topo, "-kind", "permutation", "-pairs", "5", "-out", dmd}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSample([]string{"-topo", topo, "-demand", dmd, "-router", "raecke", "-trees", "4", "-s", "3", "-out", sys}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAdapt([]string{"-topo", topo, "-system", sys, "-demand", dmd, "-out", routing}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEval([]string{"-topo", topo, "-system", sys, "-demand", dmd, "-optiters", "100"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInspect([]string{"-topo", topo, "-system", sys}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{topo, dmd, sys, routing} {
+		st, err := os.Stat(f)
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("artifact %s missing or empty: %v", f, err)
+		}
+	}
+}
+
+func TestWorkflowIntegralAdapt(t *testing.T) {
+	dir := t.TempDir()
+	topo := filepath.Join(dir, "topo.json")
+	dmd := filepath.Join(dir, "demand.json")
+	sys := filepath.Join(dir, "system.json")
+	routing := filepath.Join(dir, "routing.json")
+	if err := cmdTopo([]string{"-kind", "hypercube", "-dim", "4", "-out", topo}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDemand([]string{"-topo", topo, "-kind", "uniform", "-pairs", "4", "-amount", "2", "-out", dmd}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSample([]string{"-topo", topo, "-demand", dmd, "-router", "valiant", "-dim", "4", "-s", "3", "-lambda", "-maxlambda", "2", "-out", sys}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAdapt([]string{"-topo", topo, "-system", sys, "-demand", dmd, "-integral", "-out", routing}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopoKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"hypercube", "grid", "torus", "expander", "wan", "fattree", "ring"} {
+		out := filepath.Join(dir, kind+".json")
+		args := []string{"-kind", kind, "-out", out, "-dim", "3", "-rows", "3", "-cols", "3", "-n", "12", "-arity", "4"}
+		if err := cmdTopo(args); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	if err := cmdTopo([]string{"-kind", "nope", "-out", filepath.Join(dir, "x.json")}); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestDemandKindsAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	topo := filepath.Join(dir, "topo.json")
+	if err := cmdTopo([]string{"-kind", "hypercube", "-dim", "4", "-out", topo}); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"permutation", "gravity", "uniform", "transpose", "bitreversal"} {
+		out := filepath.Join(dir, kind+".json")
+		if err := cmdDemand([]string{"-topo", topo, "-kind", kind, "-pairs", "4", "-dim", "4", "-out", out}); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	if err := cmdDemand([]string{"-topo", topo, "-kind", "nope", "-out", filepath.Join(dir, "x.json")}); err == nil {
+		t.Fatal("unknown demand kind should error")
+	}
+	if err := cmdDemand([]string{"-topo", filepath.Join(dir, "missing.json"), "-out", filepath.Join(dir, "x.json")}); err == nil {
+		t.Fatal("missing topology should error")
+	}
+}
+
+func TestSampleRouterErrors(t *testing.T) {
+	dir := t.TempDir()
+	topo := filepath.Join(dir, "topo.json")
+	if err := cmdTopo([]string{"-kind", "ring", "-n", "6", "-out", topo}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSample([]string{"-topo", topo, "-router", "nope", "-out", filepath.Join(dir, "s.json")}); err == nil {
+		t.Fatal("unknown router should error")
+	}
+	// Valiant on a ring must fail (not a hypercube).
+	if err := cmdSample([]string{"-topo", topo, "-router", "valiant", "-dim", "3", "-out", filepath.Join(dir, "s.json")}); err == nil {
+		t.Fatal("valiant on a ring should error")
+	}
+}

@@ -1,0 +1,80 @@
+package sparseroute_test
+
+import (
+	"fmt"
+	"log"
+
+	"sparseroute"
+)
+
+// The core workflow: fix a few sampled candidate paths per pair before any
+// demand exists, then adapt only the sending rates once the demand arrives.
+func ExampleSample() {
+	g := sparseroute.Hypercube(5)
+	router, err := sparseroute.NewValiantRouter(g, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := sparseroute.RandomPermutationDemand(g.NumVertices(), 8, 1)
+
+	system, err := sparseroute.Sample(router, d.Support(), 4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	routing, err := system.Adapt(d, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("paths per pair:", system.Sparsity())
+	fmt.Println("routes full demand:", routing.ValidateRoutes(g, d, 1e-6) == nil)
+	opt, err := sparseroute.OptimalCongestion(g, d, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("within 4x of optimal:", routing.MaxCongestion(g) < 4*opt)
+	// Output:
+	// paths per pair: 4
+	// routes full demand: true
+	// within 4x of optimal: true
+}
+
+// Sampling R + lambda(u,v) paths per pair is required when demands can be
+// larger than one unit: a demand of size lambda across a lambda-edge cut
+// needs lambda disjoint candidates.
+func ExampleSampleWithCuts() {
+	g := sparseroute.Grid(3, 3)
+	router := sparseroute.NewKSPRouter(g, 4)
+	pairs := []sparseroute.Pair{{U: 0, V: 8}}
+
+	system, err := sparseroute.SampleWithCuts(router, pairs, 2, 0, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The corner-to-corner min cut of the 3x3 grid is 2, so 2+2 samples.
+	fmt.Println("min cut:", sparseroute.MinCut(g, 0, 8))
+	fmt.Println("samples:", system.NumSampled(pairs[0]))
+	// Output:
+	// min cut: 2
+	// samples: 4
+}
+
+// Completion-time sampling unions hop-budgeted samples across geometric
+// scales, so adaptation can trade congestion against dilation.
+func ExampleSampleForCompletionTime() {
+	g := sparseroute.Grid(4, 4)
+	d := sparseroute.RandomPermutationDemand(16, 4, 3)
+	system, err := sparseroute.SampleForCompletionTime(g, d.Support(), 2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := system.AdaptCompletionTime(d, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dilation within system bound:", res.Dilation <= system.MaxHops())
+	fmt.Println("objective is cong+dil:", res.CompletionTime == res.Congestion+float64(res.Dilation))
+	// Output:
+	// dilation within system bound: true
+	// objective is cong+dil: true
+}

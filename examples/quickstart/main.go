@@ -1,0 +1,54 @@
+// Quickstart: build a graph, sample a sparse semi-oblivious routing from an
+// oblivious routing, adapt the rates to a revealed demand, and compare the
+// congestion against the offline optimum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparseroute"
+)
+
+func main() {
+	// A 6-dimensional hypercube (64 vertices) with Valiant's classical
+	// oblivious routing as the base distribution.
+	const dim = 6
+	g := sparseroute.Hypercube(dim)
+	router, err := sparseroute.NewValiantRouter(g, dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The demand is revealed only AFTER the path system is fixed. Here we
+	// sample 4 paths per pair for all pairs a permutation demand might use.
+	d := sparseroute.RandomPermutationDemand(g.NumVertices(), 16, 7)
+	system, err := sparseroute.Sample(router, d.Support(), 4, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sampled %d candidate paths (%d per pair) before seeing the demand\n",
+		system.TotalPaths(), system.Sparsity())
+
+	// Stage 4: adapt sending rates to the revealed demand.
+	routing, err := system.Adapt(d, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	semi := routing.MaxCongestion(g)
+
+	// Compare with the offline optimum and the base oblivious routing.
+	opt, err := sparseroute.OptimalCongestion(g, d, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obl, err := sparseroute.ObliviousCongestion(router, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("semi-oblivious congestion: %.3f\n", semi)
+	fmt.Printf("offline optimum (approx):  %.3f\n", opt)
+	fmt.Printf("oblivious (no adaptation): %.3f\n", obl)
+	fmt.Printf("competitive ratio:         %.2f\n", semi/opt)
+}

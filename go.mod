@@ -1,0 +1,3 @@
+module sparseroute
+
+go 1.22

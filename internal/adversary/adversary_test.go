@@ -1,0 +1,88 @@
+package adversary
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sparseroute/internal/core"
+	"sparseroute/internal/demand"
+	"sparseroute/internal/graph/gen"
+	"sparseroute/internal/oblivious"
+)
+
+func sampledSystem(t *testing.T, dim, s int) *core.PathSystem {
+	t.Helper()
+	g := gen.Hypercube(dim)
+	router, err := oblivious.NewValiant(g, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := core.RSample(router, core.AllPairs(g.NumVertices()), s, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+func TestSearchFindsAtLeastRandomQuality(t *testing.T) {
+	ps := sampledSystem(t, 4, 3)
+	rng := rand.New(rand.NewPCG(1, 1))
+	res, err := Search(ps, &Options{Pairs: 4, Steps: 8, Restarts: 2, OptIters: 150}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Demand == nil || !res.Demand.IsPermutation() {
+		t.Fatal("search must return a permutation demand")
+	}
+	if res.Ratio < res.InitialRatio-1e-9 {
+		t.Fatalf("hill climbing went backwards: %v < %v", res.Ratio, res.InitialRatio)
+	}
+	if res.Ratio <= 0 {
+		t.Fatalf("ratio=%v", res.Ratio)
+	}
+	if res.Evaluations < 2 {
+		t.Fatalf("evaluations=%d", res.Evaluations)
+	}
+}
+
+func TestSearchBoundedByTheoryOnDenseSample(t *testing.T) {
+	// With s=6 on the 4-cube, even an adaptive adversary with a modest
+	// budget should not find a demand with a huge ratio (Theorem 5.3's
+	// all-demands guarantee at log-ish sparsity).
+	ps := sampledSystem(t, 4, 6)
+	rng := rand.New(rand.NewPCG(2, 2))
+	res, err := Search(ps, &Options{Pairs: 5, Steps: 10, Restarts: 2, OptIters: 150}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio > 6 {
+		t.Fatalf("adversary found ratio %v against a dense sample; suspicious", res.Ratio)
+	}
+}
+
+func TestMutatePreservesPermutations(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	d := demand.RandomPermutation(16, 5, rng)
+	valid := 0
+	for i := 0; i < 100; i++ {
+		m := mutate(d, 16, rng)
+		if m.IsPermutation() {
+			valid++
+		}
+		if m.SupportSize() != d.SupportSize() {
+			t.Fatalf("mutation changed pair count: %d vs %d", m.SupportSize(), d.SupportSize())
+		}
+	}
+	if valid < 90 {
+		t.Fatalf("only %d/100 mutations stayed permutations", valid)
+	}
+}
+
+func TestSearchRequiresCoverage(t *testing.T) {
+	g := gen.Hypercube(3)
+	ps := core.NewPathSystem(g) // empty: nothing covered
+	rng := rand.New(rand.NewPCG(4, 4))
+	if _, err := Search(ps, &Options{Pairs: 2, Steps: 2, Restarts: 1}, rng); err == nil {
+		t.Fatal("uncovered system should error")
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sparseroute/internal/demand"
+	"sparseroute/internal/graph/gen"
+	"sparseroute/internal/oblivious"
+)
+
+func BenchmarkRSampleParallel(b *testing.B) {
+	g := gen.Hypercube(6)
+	router, err := oblivious.NewValiant(g, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := AllPairs(g.NumVertices())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RSample(router, pairs, 4, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdaptPermutation(b *testing.B) {
+	g := gen.Hypercube(6)
+	router, err := oblivious.NewValiant(g, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 5))
+	d := demand.RandomPermutation(64, 16, rng)
+	ps, err := RSample(router, d.Support(), 4, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ps.Adapt(d, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdaptIntegral(b *testing.B) {
+	g := gen.Hypercube(5)
+	router, err := oblivious.NewValiant(g, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(6, 6))
+	d := demand.RandomPermutation(32, 8, rng)
+	ps, err := RSample(router, d.Support(), 4, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ps.AdaptIntegral(d, nil, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

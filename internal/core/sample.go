@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"sparseroute/internal/demand"
+	"sparseroute/internal/graph"
+	"sparseroute/internal/maxflow"
+	"sparseroute/internal/oblivious"
+	"sparseroute/internal/par"
+)
+
+// RSample draws R independent paths (with replacement) per pair from the
+// oblivious routing r — Definition 5.2's R-sample, the paper's entire
+// construction. Pair sampling is parallelized; results are deterministic for
+// a fixed seed because each pair gets its own PCG stream derived from the
+// seed and the pair.
+func RSample(r oblivious.Router, pairs []demand.Pair, R int, seed uint64) (*PathSystem, error) {
+	if R < 1 {
+		return nil, fmt.Errorf("core: R must be >= 1")
+	}
+	return sample(r, pairs, func(demand.Pair) int { return R }, seed)
+}
+
+// RPlusLambdaSample draws R + λ(u,v) paths per pair, where λ is the u-v
+// min cut — the (R+λ)-sample of Theorem 5.3 required for arbitrary
+// (non-unit) demands (Lemma 2.7). λ is capped at maxLambda to keep the
+// system sparse on highly connected graphs (0 means no cap).
+func RPlusLambdaSample(r oblivious.Router, pairs []demand.Pair, R int, maxLambda int, seed uint64) (*PathSystem, error) {
+	if R < 1 {
+		return nil, fmt.Errorf("core: R must be >= 1")
+	}
+	g := r.Graph()
+	lambdas := make([]int, len(pairs))
+	par.ForEach(len(pairs), func(i int) {
+		l := maxflow.Lambda(g, pairs[i].U, pairs[i].V)
+		li := int(math.Ceil(l - 1e-9))
+		if maxLambda > 0 && li > maxLambda {
+			li = maxLambda
+		}
+		lambdas[i] = li
+	})
+	byPair := make(map[demand.Pair]int, len(pairs))
+	for i, p := range pairs {
+		byPair[p] = R + lambdas[i]
+	}
+	return sample(r, pairs, func(p demand.Pair) int { return byPair[p] }, seed)
+}
+
+// sample draws count(p) paths per pair in parallel.
+func sample(r oblivious.Router, pairs []demand.Pair, count func(demand.Pair) int, seed uint64) (*PathSystem, error) {
+	g := r.Graph()
+	results := make([][]graph.Path, len(pairs))
+	errs := make([]error, len(pairs))
+	par.ForEach(len(pairs), func(i int) {
+		p := pairs[i]
+		rng := rand.New(rand.NewPCG(seed, uint64(p.U)<<32|uint64(p.V)))
+		k := count(p)
+		paths, err := oblivious.SampleMany(r, p.U, p.V, k, rng)
+		if err != nil {
+			errs[i] = fmt.Errorf("core: sampling pair %v: %w", p, err)
+			return
+		}
+		results[i] = paths
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	ps := NewPathSystem(g)
+	for i, paths := range results {
+		for _, p := range paths {
+			if err := ps.AddPath(p); err != nil {
+				return nil, fmt.Errorf("core: pair %v: %w", pairs[i], err)
+			}
+		}
+	}
+	return ps, nil
+}
+
+// CompletionTimeSample builds the hop-scale union system of Lemma 2.8: for
+// every geometric hop budget h = h0, 2·h0, 4·h0, ... up to the graph
+// diameter, sample R paths per pair from a hop-constrained oblivious routing
+// with budget h (pairs out of range for a scale are skipped at that scale).
+// The union is O(R log(diameter))-sparse and contains, for every pair and
+// every achievable dilation class, competitive candidates — which
+// AdaptCompletionTime then exploits.
+func CompletionTimeSample(g *graph.Graph, pairs []demand.Pair, R int, seed uint64) (*PathSystem, error) {
+	return completionTimeSample(g, pairs, func(demand.Pair) int { return R }, R, seed)
+}
+
+// CompletionTimeSampleWithCuts is the arbitrary-demand variant the paper
+// states exists but omits for brevity (Section 7): each hop scale samples
+// R + λ(u,v) paths per pair, combining the Lemma 2.8 hop-scale union with
+// the Lemma 2.7 cut-proportional sparsity needed for non-unit demands.
+// maxLambda caps λ (0 = uncapped).
+func CompletionTimeSampleWithCuts(g *graph.Graph, pairs []demand.Pair, R, maxLambda int, seed uint64) (*PathSystem, error) {
+	if R < 1 {
+		return nil, fmt.Errorf("core: R must be >= 1")
+	}
+	lambdas := make([]int, len(pairs))
+	par.ForEach(len(pairs), func(i int) {
+		l := maxflow.Lambda(g, pairs[i].U, pairs[i].V)
+		li := int(math.Ceil(l - 1e-9))
+		if maxLambda > 0 && li > maxLambda {
+			li = maxLambda
+		}
+		lambdas[i] = li
+	})
+	byPair := make(map[demand.Pair]int, len(pairs))
+	for i, p := range pairs {
+		byPair[p] = R + lambdas[i]
+	}
+	return completionTimeSample(g, pairs, func(p demand.Pair) int { return byPair[p] }, R, seed)
+}
+
+func completionTimeSample(g *graph.Graph, pairs []demand.Pair, count func(demand.Pair) int, R int, seed uint64) (*PathSystem, error) {
+	if R < 1 {
+		return nil, fmt.Errorf("core: R must be >= 1")
+	}
+	diam := g.HopDiameter()
+	union := NewPathSystem(g)
+	scale := 0
+	for h := 1; ; h *= 2 {
+		router, err := oblivious.NewHopConstrained(g, h)
+		if err != nil {
+			return nil, err
+		}
+		// Only sample pairs whose hop distance fits the budget.
+		var feasible []demand.Pair
+		for _, p := range pairs {
+			if _, err := router.Sample(p.U, p.V, rand.New(rand.NewPCG(1, 2))); err == nil {
+				feasible = append(feasible, p)
+			}
+		}
+		if len(feasible) > 0 {
+			ps, err := sample(router, feasible, count, seed+uint64(scale)*0x9e3779b97f4a7c15)
+			if err != nil {
+				return nil, err
+			}
+			if err := union.Merge(ps); err != nil {
+				return nil, err
+			}
+		}
+		scale++
+		if h >= diam {
+			break
+		}
+	}
+	return union, nil
+}

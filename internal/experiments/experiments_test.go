@@ -1,0 +1,371 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runQuick executes an experiment in quick mode and does structural checks.
+func runQuick(t *testing.T, name string) *tableWrap {
+	t.Helper()
+	r, err := Find(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := r.Run(Config{Seed: 12345, Quick: true})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("%s produced no rows", name)
+	}
+	for i, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("%s row %d has %d cells, header has %d", name, i, len(row), len(tbl.Header))
+		}
+	}
+	if !strings.Contains(tbl.String(), tbl.Header[0]) {
+		t.Fatalf("%s table failed to render", name)
+	}
+	return &tableWrap{t: t, name: name, header: tbl.Header, rows: tbl.Rows}
+}
+
+type tableWrap struct {
+	t      *testing.T
+	name   string
+	header []string
+	rows   [][]string
+}
+
+func (w *tableWrap) col(header string) int {
+	for i, h := range w.header {
+		if h == header {
+			return i
+		}
+	}
+	w.t.Fatalf("%s: no column %q", w.name, header)
+	return -1
+}
+
+func (w *tableWrap) floatAt(row int, header string) float64 {
+	c := w.col(header)
+	v, err := strconv.ParseFloat(w.rows[row][c], 64)
+	if err != nil {
+		w.t.Fatalf("%s: cell (%d,%s)=%q not a float", w.name, row, header, w.rows[row][c])
+	}
+	return v
+}
+
+func TestAllNamesUniqueAndFindable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range All() {
+		if seen[r.Name] {
+			t.Fatalf("duplicate experiment %s", r.Name)
+		}
+		seen[r.Name] = true
+		if _, err := Find(r.Name); err != nil {
+			t.Fatal(err)
+		}
+		if r.Brief == "" {
+			t.Fatalf("%s has no description", r.Name)
+		}
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestE1Shape(t *testing.T) {
+	w := runQuick(t, "E1")
+	for i := range w.rows {
+		ratio := w.floatAt(i, "semi/OPT")
+		if ratio < 0.5 || ratio > 20 {
+			t.Fatalf("E1 row %d ratio %v out of plausible band", i, ratio)
+		}
+		vsObl := w.floatAt(i, "semi/obl")
+		if vsObl > 3 {
+			t.Fatalf("E1 row %d semi/obl=%v: adaptation should track the base routing", i, vsObl)
+		}
+	}
+}
+
+func TestE2ShapeMonotoneish(t *testing.T) {
+	w := runQuick(t, "E2")
+	// Within each graph block, the ratio at the largest s must not exceed
+	// the ratio at s=1 (allowing generous noise).
+	byGraph := map[string][]float64{}
+	gcol := w.col("graph")
+	for i := range w.rows {
+		byGraph[w.rows[i][gcol]] = append(byGraph[w.rows[i][gcol]], w.floatAt(i, "ratio"))
+	}
+	for gname, ratios := range byGraph {
+		first, last := ratios[0], ratios[len(ratios)-1]
+		if last > first*1.25+0.1 {
+			t.Fatalf("E2 %s: ratio rose from %v (s=1) to %v (s max)", gname, first, last)
+		}
+	}
+}
+
+func TestE3ShapeSeparation(t *testing.T) {
+	w := runQuick(t, "E3")
+	mcol := w.col("method")
+	dcol := w.col("demand")
+	// For each demand, greedy must be at least 1.5x worse than s=4.
+	greedy := map[string]float64{}
+	s4 := map[string]float64{}
+	for i := range w.rows {
+		switch {
+		case strings.HasPrefix(w.rows[i][mcol], "greedy"):
+			greedy[w.rows[i][dcol]] = w.floatAt(i, "congestion")
+		case w.rows[i][mcol] == "valiant-sample s=4":
+			s4[w.rows[i][dcol]] = w.floatAt(i, "congestion")
+		}
+	}
+	for dname, gc := range greedy {
+		if sc, ok := s4[dname]; ok && gc < 1.5*sc {
+			t.Fatalf("E3 %s: greedy=%v should clearly exceed s=4 sample=%v", dname, gc, sc)
+		}
+	}
+}
+
+func TestE4ShapeLambdaWins(t *testing.T) {
+	w := runQuick(t, "E4")
+	scol := w.col("sampling")
+	var plain, lam float64
+	for i := range w.rows {
+		switch w.rows[i][scol] {
+		case "R=2":
+			plain = w.floatAt(i, "ratio vs OPT")
+		case "R=2+lambda":
+			lam = w.floatAt(i, "ratio vs OPT")
+		}
+	}
+	if lam > plain+1e-9 {
+		t.Fatalf("E4: (R+lambda) ratio %v should not exceed plain R ratio %v", lam, plain)
+	}
+	if lam > 1.6 {
+		t.Fatalf("E4: (R+lambda) ratio %v should be near 1", lam)
+	}
+}
+
+func TestE5ShapeCompletionNotWorse(t *testing.T) {
+	w := runQuick(t, "E5")
+	acol := w.col("adaptation")
+	var congOnly, ct float64
+	for i := range w.rows {
+		switch w.rows[i][acol] {
+		case "congestion-only":
+			congOnly = w.floatAt(i, "cong+dil")
+		case "completion-time":
+			ct = w.floatAt(i, "cong+dil")
+		}
+	}
+	if ct > congOnly+1e-9 {
+		t.Fatalf("E5: completion-time adaptation (%v) worse than congestion-only (%v) on cong+dil", ct, congOnly)
+	}
+}
+
+func TestE6ShapeCertifiedBounds(t *testing.T) {
+	w := runQuick(t, "E6")
+	mcol := w.col("measured ratio")
+	gluedRows := 0
+	for i := range w.rows {
+		cert := w.floatAt(i, "certified ratio")
+		if cert < 1 {
+			t.Fatalf("E6 row %d: certified ratio %v below 1", i, cert)
+		}
+		if _, err := strconv.ParseFloat(w.rows[i][mcol], 64); err != nil {
+			gluedRows++ // glued-family rows carry a text annotation instead
+			continue
+		}
+		meas := w.floatAt(i, "measured ratio")
+		if meas < cert-0.3 {
+			t.Fatalf("E6 row %d: measured %v contradicts certified %v", i, meas, cert)
+		}
+	}
+	if gluedRows != 2 {
+		t.Fatalf("expected 2 glued-family rows, got %d", gluedRows)
+	}
+}
+
+func TestE7ShapeSurvivalGrows(t *testing.T) {
+	w := runQuick(t, "E7")
+	scol := w.col("s")
+	tcol := w.col("thr")
+	frac := map[string]map[string]float64{}
+	for i := range w.rows {
+		thr := w.rows[i][tcol]
+		if frac[thr] == nil {
+			frac[thr] = map[string]float64{}
+		}
+		frac[thr][w.rows[i][scol]] = w.floatAt(i, "mean surviving frac")
+	}
+	for thr, m := range frac {
+		if m["8"] < m["1"]-0.05 {
+			t.Fatalf("E7 thr=%s: s=8 fraction %v below s=1 fraction %v", thr, m["8"], m["1"])
+		}
+	}
+}
+
+func TestE9ShapeAblation(t *testing.T) {
+	w := runQuick(t, "E9")
+	acol := w.col("ablation")
+	vcol := w.col("variant")
+	trees := map[string]float64{}
+	source := map[string]float64{}
+	for i := range w.rows {
+		switch w.rows[i][acol] {
+		case "raecke-trees":
+			trees[w.rows[i][vcol]] = w.floatAt(i, "mean ratio vs OPT")
+		case "sampler-source":
+			source[w.rows[i][vcol]] = w.floatAt(i, "mean ratio vs OPT")
+		}
+	}
+	if len(trees) != 5 || len(source) != 4 {
+		t.Fatalf("missing rows: %v %v", trees, source)
+	}
+	// 16 trees should be no worse than a single tree (generous margin).
+	if trees["T=16"] > trees["T=1"]*1.3+0.1 {
+		t.Fatalf("more trees should not hurt: T=1 %v vs T=16 %v", trees["T=1"], trees["T=16"])
+	}
+	for name, r := range source {
+		if r < 0.8 || r > 30 {
+			t.Fatalf("sampler %s ratio %v out of band", name, r)
+		}
+	}
+}
+
+func TestE10ShapeFailureDecays(t *testing.T) {
+	w := runQuick(t, "E10")
+	// Failure counts per row, e.g. "3/12".
+	fcol := w.col("fail rate")
+	parse := func(s string) float64 {
+		var a, b float64
+		if _, err := fmtSscanf(s, &a, &b); err != nil {
+			t.Fatalf("bad fail rate %q", s)
+		}
+		return a / b
+	}
+	first := parse(w.rows[0][fcol])
+	last := parse(w.rows[len(w.rows)-1][fcol])
+	if last > first+0.25 {
+		t.Fatalf("failure rate should not grow with |d|: %v -> %v", first, last)
+	}
+	// Overcongestion rate below the Chernoff bound (it bounds a superset
+	// event; generous tolerance for the mean-field mu approximation).
+	for i := range w.rows {
+		emp := w.floatAt(i, "edge-overcong rate")
+		chern := w.floatAt(i, "chernoff/edge")
+		if emp > chern*10+0.2 {
+			t.Fatalf("row %d: empirical overcongestion %v far above Chernoff %v", i, emp, chern)
+		}
+	}
+}
+
+func fmtSscanf(s string, a, b *float64) (int, error) {
+	var x, y int
+	n, err := sscanfFrac(s, &x, &y)
+	*a, *b = float64(x), float64(y)
+	return n, err
+}
+
+func sscanfFrac(s string, x, y *int) (int, error) {
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return 0, strconv.ErrSyntax
+	}
+	a, err := strconv.Atoi(s[:i])
+	if err != nil {
+		return 0, err
+	}
+	b, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return 1, err
+	}
+	*x, *y = a, b
+	return 2, nil
+}
+
+func TestE11ShapeRobustness(t *testing.T) {
+	w := runQuick(t, "E11")
+	// Row 0 is f=0: full coverage and near-optimal ratio.
+	if cov := w.floatAt(0, "pair coverage"); cov < 0.999 {
+		t.Fatalf("f=0 coverage %v should be 1", cov)
+	}
+	for i := range w.rows {
+		if w.rows[i][w.col("semiobl ratio")] == "-" {
+			continue
+		}
+		semi := w.floatAt(i, "semiobl ratio")
+		if semi < 0.8 || semi > 30 {
+			t.Fatalf("row %d semiobl ratio %v out of band", i, semi)
+		}
+		cov := w.floatAt(i, "pair coverage")
+		if cov < 0.4 {
+			t.Fatalf("row %d coverage %v collapsed (s=4 should survive few failures)", i, cov)
+		}
+	}
+}
+
+func TestE12ShapeTopologySweep(t *testing.T) {
+	w := runQuick(t, "E12")
+	mcol := w.col("method")
+	tcol := w.col("topology")
+	byMethod := map[string]float64{}
+	sampled := map[string]float64{}
+	for i := range w.rows {
+		r := w.floatAt(i, "mean ratio vs OPT")
+		if w.rows[i][mcol] == "raecke-sample-4" {
+			sampled[w.rows[i][tcol]] = r
+		} else {
+			byMethod[w.rows[i][mcol]] = r
+		}
+	}
+	if len(sampled) != 3 {
+		t.Fatalf("missing sampled rows: %v", sampled)
+	}
+	for topo, r := range sampled {
+		if r < 0.8 || r > 10 {
+			t.Fatalf("%s ratio %v out of the single-digit band", topo, r)
+		}
+	}
+	// XY must not beat ROMM (deterministic single path vs randomized
+	// minimal spreading) on average.
+	if byMethod["mesh-xy"] < byMethod["mesh-romm"]-0.3 {
+		t.Fatalf("XY (%v) should not beat ROMM (%v)", byMethod["mesh-xy"], byMethod["mesh-romm"])
+	}
+}
+
+func TestE13ShapeAdversary(t *testing.T) {
+	w := runQuick(t, "E13")
+	scol := w.col("s")
+	worst := map[string]float64{}
+	for i := range w.rows {
+		gain := w.floatAt(i, "adversary gain")
+		if gain < 1-1e-9 {
+			t.Fatalf("row %d: hill climbing cannot lose ground (gain %v)", i, gain)
+		}
+		worst[w.rows[i][scol]] = w.floatAt(i, "worst found ratio")
+	}
+	// More paths: the adversary's best find should not be (much) worse.
+	if worst["4"] > worst["1"]*1.3+0.2 {
+		t.Fatalf("worst ratio should fall with s: s=1 %v vs s=4 %v", worst["1"], worst["4"])
+	}
+}
+
+func TestE8ShapeSemiObliviousTracksOpt(t *testing.T) {
+	w := runQuick(t, "E8")
+	mcol := w.col("method")
+	ratios := map[string]float64{}
+	for i := range w.rows {
+		ratios[w.rows[i][mcol]] = w.floatAt(i, "mean ratio vs OPT")
+	}
+	if ratios["semiobl-raecke-4"] > 2.0 {
+		t.Fatalf("E8: semiobl-raecke-4 ratio %v too far from OPT", ratios["semiobl-raecke-4"])
+	}
+	if ratios["semiobl-raecke-4"] > ratios["spf"]+0.3 {
+		t.Fatalf("E8: semi-oblivious (%v) should not lose clearly to SPF (%v)",
+			ratios["semiobl-raecke-4"], ratios["spf"])
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"sparseroute/internal/flow"
+	"sparseroute/internal/graph"
+	"sparseroute/internal/graph/gen"
+)
+
+// gadgetSampler is the natural oblivious routing on the double-star gadget
+// B_{k,p}: a leaf-to-leaf packet crosses a uniformly random middle vertex.
+// It is the constant-competitive oblivious routing Theorem 5.3 would sample
+// from on this graph; the E6 adversary attacks its s-samples.
+type gadgetSampler struct {
+	ds    gen.DoubleStar
+	left  map[int]bool
+	right map[int]bool
+}
+
+func newGadgetSampler(ds gen.DoubleStar) (*gadgetSampler, error) {
+	gs := &gadgetSampler{ds: ds, left: make(map[int]bool), right: make(map[int]bool)}
+	for _, v := range ds.LeftLeaves {
+		gs.left[v] = true
+	}
+	for _, v := range ds.RightLeaves {
+		gs.right[v] = true
+	}
+	if len(ds.Middle) == 0 {
+		return nil, fmt.Errorf("experiments: gadget without middle vertices")
+	}
+	return gs, nil
+}
+
+// Graph implements oblivious.Router.
+func (gs *gadgetSampler) Graph() *graph.Graph { return gs.ds.G }
+
+// pathVia returns the leaf-to-leaf path through the given middle vertex.
+func (gs *gadgetSampler) pathVia(u, v, mid int) (graph.Path, error) {
+	left, right := u, v
+	if !gs.left[left] {
+		left, right = right, left
+	}
+	if !gs.left[left] || !gs.right[right] {
+		return graph.Path{}, fmt.Errorf("experiments: gadget sampler only routes left-right leaf pairs, got (%d,%d)", u, v)
+	}
+	p, err := graph.PathFromVertices(gs.ds.G, []int{left, gs.ds.LeftCenter, mid, gs.ds.RightCenter, right})
+	if err != nil {
+		return graph.Path{}, err
+	}
+	if left != u {
+		p = p.Reverse()
+	}
+	return p, nil
+}
+
+// Sample implements oblivious.Router.
+func (gs *gadgetSampler) Sample(u, v int, rng *rand.Rand) (graph.Path, error) {
+	mid := gs.ds.Middle[rng.IntN(len(gs.ds.Middle))]
+	return gs.pathVia(u, v, mid)
+}
+
+// Distribution implements oblivious.Router.
+func (gs *gadgetSampler) Distribution(u, v int) ([]flow.WeightedPath, error) {
+	w := 1.0 / float64(len(gs.ds.Middle))
+	out := make([]flow.WeightedPath, 0, len(gs.ds.Middle))
+	for _, mid := range gs.ds.Middle {
+		p, err := gs.pathVia(u, v, mid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, flow.WeightedPath{Path: p, Weight: w})
+	}
+	return out, nil
+}

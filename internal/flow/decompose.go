@@ -1,0 +1,106 @@
+package flow
+
+import (
+	"fmt"
+
+	"sparseroute/internal/graph"
+)
+
+// DecomposeUnitFlow decomposes an acyclic single-commodity src→dst flow
+// given as signed per-edge values (positive = flow in U→V orientation) into
+// weighted simple paths. The total decomposed weight equals the flow value;
+// small residues below tol are discarded.
+//
+// The flow must be acyclic (true for electrical flows, which follow strictly
+// decreasing potentials); the decomposition greedily peels the bottleneck
+// path until less than tol remains.
+func DecomposeUnitFlow(g *graph.Graph, src, dst int, edgeFlow []float64, tol float64) ([]WeightedPath, error) {
+	if len(edgeFlow) != g.NumEdges() {
+		return nil, fmt.Errorf("flow: %d flows for %d edges", len(edgeFlow), g.NumEdges())
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	if src == dst {
+		return nil, nil
+	}
+	residual := append([]float64(nil), edgeFlow...)
+	// out[v] lists edges with positive residual flow leaving v.
+	outEdges := func(v int) []int {
+		var out []int
+		for _, id := range g.Incident(v) {
+			e := g.Edge(id)
+			if e.U == v && residual[id] > tol {
+				out = append(out, id)
+			}
+			if e.V == v && residual[id] < -tol {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	var paths []WeightedPath
+	guard := 0
+	for {
+		guard++
+		if guard > 4*g.NumEdges()+16 {
+			return nil, fmt.Errorf("flow: decomposition did not terminate (cyclic flow?)")
+		}
+		// Walk a flow-positive path from src to dst, tracking the
+		// bottleneck.
+		var ids []int
+		bottleneck := 0.0
+		cur := src
+		visited := map[int]bool{src: true}
+		for cur != dst {
+			outs := outEdges(cur)
+			if len(outs) == 0 {
+				if len(ids) == 0 {
+					// No outgoing flow at the source: done.
+					return paths, nil
+				}
+				return nil, fmt.Errorf("flow: walk stuck at vertex %d", cur)
+			}
+			// Follow the largest-residual edge for numerical robustness.
+			best := outs[0]
+			for _, id := range outs[1:] {
+				if abs(residual[id]) > abs(residual[best]) {
+					best = id
+				}
+			}
+			ids = append(ids, best)
+			amt := abs(residual[best])
+			if bottleneck == 0 || amt < bottleneck {
+				bottleneck = amt
+			}
+			cur = g.Edge(best).Other(cur)
+			if visited[cur] {
+				return nil, fmt.Errorf("flow: cycle detected at vertex %d", cur)
+			}
+			visited[cur] = true
+		}
+		if bottleneck <= tol {
+			return paths, nil // only numerical dust remains
+		}
+		p := graph.Path{Src: src, Dst: dst, EdgeIDs: ids}
+		paths = append(paths, WeightedPath{Path: p, Weight: bottleneck})
+		// Subtract along the walk.
+		cur = src
+		for _, id := range ids {
+			e := g.Edge(id)
+			if e.U == cur {
+				residual[id] -= bottleneck
+			} else {
+				residual[id] += bottleneck
+			}
+			cur = e.Other(cur)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,130 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"sparseroute/internal/graph"
+)
+
+func TestDecomposeSimplePath(t *testing.T) {
+	g := graph.New(3)
+	e01 := g.AddUnitEdge(0, 1)
+	e12 := g.AddUnitEdge(1, 2)
+	f := make([]float64, 2)
+	f[e01] = 1 // 0->1
+	f[e12] = 1 // 1->2
+	paths, err := DecomposeUnitFlow(g, 0, 2, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || math.Abs(paths[0].Weight-1) > 1e-9 {
+		t.Fatalf("paths=%v", paths)
+	}
+	if err := paths[0].Path.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeReverseOrientation(t *testing.T) {
+	// Edge stored as (2,1) but flow goes 1->2: negative signed flow.
+	g := graph.New(3)
+	e01 := g.AddUnitEdge(0, 1)
+	e21 := g.AddUnitEdge(2, 1)
+	f := make([]float64, 2)
+	f[e01] = 1
+	f[e21] = -1 // V->U = 1->2
+	paths, err := DecomposeUnitFlow(g, 0, 2, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths=%v", paths)
+	}
+	if paths[0].Path.Dst != 2 {
+		t.Fatalf("path=%+v", paths[0].Path)
+	}
+}
+
+func TestDecomposeSplitFlow(t *testing.T) {
+	// Diamond with 0.3/0.7 split.
+	g := graph.New(4)
+	a1 := g.AddUnitEdge(0, 1)
+	a2 := g.AddUnitEdge(1, 3)
+	b1 := g.AddUnitEdge(0, 2)
+	b2 := g.AddUnitEdge(2, 3)
+	f := make([]float64, 4)
+	f[a1], f[a2] = 0.3, 0.3
+	f[b1], f[b2] = 0.7, 0.7
+	paths, err := DecomposeUnitFlow(g, 0, 3, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	var total float64
+	for _, wp := range paths {
+		total += wp.Weight
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("total=%v", total)
+	}
+}
+
+func TestDecomposeZeroFlow(t *testing.T) {
+	g := graph.New(2)
+	g.AddUnitEdge(0, 1)
+	paths, err := DecomposeUnitFlow(g, 0, 0, []float64{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 0 {
+		t.Fatalf("paths=%v", paths)
+	}
+}
+
+func TestDecomposeRejectsWrongLength(t *testing.T) {
+	g := graph.New(2)
+	g.AddUnitEdge(0, 1)
+	if _, err := DecomposeUnitFlow(g, 0, 1, []float64{1, 2}, 0); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestDecomposeIgnoresDetachedCirculation(t *testing.T) {
+	// A circulation left over after peeling the src-dst path is simply
+	// dropped: the source has no outgoing residual flow.
+	g := graph.New(3)
+	e01 := g.AddUnitEdge(0, 1)
+	e12 := g.AddUnitEdge(1, 2)
+	e20 := g.AddUnitEdge(2, 0)
+	f := make([]float64, 3)
+	f[e01] = 1
+	f[e12] = 1
+	f[e20] = 1 // circulation component
+	paths, err := DecomposeUnitFlow(g, 0, 2, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths=%v", paths)
+	}
+}
+
+func TestDecomposeDetectsCycleOnWalk(t *testing.T) {
+	// A cycle reachable mid-walk must be detected, not looped forever:
+	// 0->1, then flow bounces 1->2 and 2->1 over parallel edges.
+	g := graph.New(3)
+	e01 := g.AddUnitEdge(0, 1)
+	e12a := g.AddUnitEdge(1, 2)
+	e12b := g.AddUnitEdge(1, 2)
+	f := make([]float64, 3)
+	f[e01] = 1
+	f[e12a] = 2  // 1->2
+	f[e12b] = -1 // 2->1
+	// dst=0 is never reached; the walk revisits vertex 1.
+	if _, err := DecomposeUnitFlow(g, 1, 0, f, 0); err == nil {
+		t.Fatal("cycle on the walk should be rejected")
+	}
+}

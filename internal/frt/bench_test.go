@@ -1,0 +1,42 @@
+package frt
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sparseroute/internal/graph/gen"
+)
+
+func BenchmarkBuildGrid8x8(b *testing.B) {
+	g := gen.Grid(8, 8)
+	lengths := unit(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewPCG(uint64(i+1), 7))
+		if _, err := Build(g, lengths, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRouteCached(b *testing.B) {
+	g := gen.Grid(8, 8)
+	tree, err := Build(g, unit(g), rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.NumVertices()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := i % n
+		v := (i*29 + 11) % n
+		if u == v {
+			v = (v + 1) % n
+		}
+		if _, err := tree.Route(u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package gen
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestRandomRegularLargerInstances(t *testing.T) {
+	for _, tc := range [][2]int{{256, 6}, {128, 8}, {100, 3}} {
+		rng := rand.New(rand.NewPCG(uint64(tc[0]), uint64(tc[1])))
+		g := RandomRegular(tc[0], tc[1], rng)
+		if !g.Connected() {
+			t.Fatalf("n=%d deg=%d: disconnected", tc[0], tc[1])
+		}
+		for v := 0; v < tc[0]; v++ {
+			if g.Degree(v) != tc[1] {
+				t.Fatalf("n=%d deg=%d: degree(%d)=%d", tc[0], tc[1], v, g.Degree(v))
+			}
+		}
+		seen := map[[2]int]bool{}
+		for _, e := range g.Edges() {
+			a, b := e.U, e.V
+			if a > b {
+				a, b = b, a
+			}
+			if a == b || seen[[2]int{a, b}] {
+				t.Fatal("loop or parallel edge")
+			}
+			seen[[2]int{a, b}] = true
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// randomWalk builds a random (possibly self-crossing) walk of the given hop
+// count starting at src.
+func randomWalk(g *Graph, src, hops int, rng *rand.Rand) Path {
+	p := Path{Src: src, Dst: src}
+	cur := src
+	for i := 0; i < hops; i++ {
+		inc := g.Incident(cur)
+		if len(inc) == 0 {
+			break
+		}
+		id := inc[rng.IntN(len(inc))]
+		p.EdgeIDs = append(p.EdgeIDs, id)
+		cur = g.Edge(id).Other(cur)
+	}
+	p.Dst = cur
+	return p
+}
+
+func denseTestGraph(seed uint64) *Graph {
+	rng := rand.New(rand.NewPCG(seed, 0x61))
+	n := 8 + int(seed%6)
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddUnitEdge(i, rng.IntN(i))
+	}
+	for extra := 0; extra < 2*n; extra++ {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u != v {
+			g.AddUnitEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Simplify is idempotent and preserves endpoints for any random walk.
+func TestSimplifyIdempotentProperty(t *testing.T) {
+	f := func(seed uint64, hopsRaw uint8) bool {
+		g := denseTestGraph(seed)
+		rng := rand.New(rand.NewPCG(seed, 0x62))
+		walk := randomWalk(g, rng.IntN(g.NumVertices()), int(hopsRaw%20)+1, rng)
+		s1, err := Simplify(g, walk)
+		if err != nil {
+			return false
+		}
+		if !s1.IsSimple(g) || s1.Src != walk.Src || s1.Dst != walk.Dst {
+			return false
+		}
+		s2, err := Simplify(g, s1)
+		if err != nil {
+			return false
+		}
+		return s2.Key() == s1.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Reverse is an involution and preserves validity and hop count.
+func TestReverseInvolutionProperty(t *testing.T) {
+	f := func(seed uint64, hopsRaw uint8) bool {
+		g := denseTestGraph(seed)
+		rng := rand.New(rand.NewPCG(seed, 0x63))
+		walk := randomWalk(g, rng.IntN(g.NumVertices()), int(hopsRaw%12)+1, rng)
+		rev := walk.Reverse()
+		if rev.Validate(g) != nil || rev.Hops() != walk.Hops() {
+			return false
+		}
+		back := rev.Reverse()
+		if back.Src != walk.Src || back.Dst != walk.Dst || len(back.EdgeIDs) != len(walk.EdgeIDs) {
+			return false
+		}
+		for i := range back.EdgeIDs {
+			if back.EdgeIDs[i] != walk.EdgeIDs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Key equality coincides with equality of the (direction-normalized) edge
+// sequence.
+func TestKeyEqualityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := denseTestGraph(seed)
+		rng := rand.New(rand.NewPCG(seed, 0x64))
+		a := randomWalk(g, rng.IntN(g.NumVertices()), 5, rng)
+		b := randomWalk(g, rng.IntN(g.NumVertices()), 5, rng)
+		sameForward := len(a.EdgeIDs) == len(b.EdgeIDs)
+		if sameForward {
+			for i := range a.EdgeIDs {
+				if a.EdgeIDs[i] != b.EdgeIDs[i] {
+					sameForward = false
+					break
+				}
+			}
+		}
+		sameBackward := len(a.EdgeIDs) == len(b.EdgeIDs)
+		if sameBackward {
+			rb := b.Reverse()
+			for i := range a.EdgeIDs {
+				if a.EdgeIDs[i] != rb.EdgeIDs[i] {
+					sameBackward = false
+					break
+				}
+			}
+		}
+		return (a.Key() == b.Key()) == (sameForward || sameBackward)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BFS distances satisfy the triangle inequality through any edge.
+func TestBFSTriangleProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := denseTestGraph(seed)
+		rng := rand.New(rand.NewPCG(seed, 0x65))
+		src := rng.IntN(g.NumVertices())
+		dist, _ := g.BFS(src)
+		for _, e := range g.Edges() {
+			du, dv := dist[e.U], dist[e.V]
+			if du < 0 || dv < 0 {
+				continue
+			}
+			if du > dv+1 || dv > du+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

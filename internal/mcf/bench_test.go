@@ -1,0 +1,71 @@
+package mcf
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sparseroute/internal/demand"
+	"sparseroute/internal/graph"
+	"sparseroute/internal/graph/gen"
+)
+
+// benchInstance: expander + permutation demand + 4 random short candidate
+// paths per pair.
+func benchInstance(b *testing.B, n, pairs int) (*graph.Graph, map[demand.Pair][]graph.Path, *demand.Demand) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(3, 3))
+	g := gen.RandomRegular(n, 4, rng)
+	d := demand.RandomPermutation(n, pairs, rng)
+	cand := make(map[demand.Pair][]graph.Path)
+	lengths := make([]float64, g.NumEdges())
+	for _, p := range d.Support() {
+		for j := 0; j < 4; j++ {
+			for i := range lengths {
+				lengths[i] = 1 + rng.Float64()
+			}
+			path, err := g.LightestPath(p.U, p.V, lengths)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cand[p] = append(cand[p], path)
+		}
+	}
+	return g, cand, d
+}
+
+func BenchmarkAdaptExactLP(b *testing.B) {
+	g, cand, d := benchInstance(b, 32, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinCongestionOnPathsExact(g, cand, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdaptMWU(b *testing.B) {
+	g, cand, d := benchInstance(b, 64, 16)
+	opt := &Options{Iterations: 128}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinCongestionOnPaths(g, cand, d, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApproxOpt(b *testing.B) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	g := gen.RandomRegular(64, 4, rng)
+	d := demand.RandomPermutation(64, 16, rng)
+	opt := &Options{Iterations: 128}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ApproxOptCongestion(g, d, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,430 @@
+// Package mcf solves minimum-congestion multicommodity flow problems, the
+// computational heart of the reproduction:
+//
+//   - the *offline optimum* OPT(d) every competitive ratio is measured
+//     against (Stage 5 of the paper's protocol), via an exact edge-based LP
+//     for small instances and a multiplicative-weights (1+ε)-style
+//     approximation for larger ones;
+//   - the *semi-oblivious adaptation step* (Stage 4): minimum congestion
+//     restricted to a fixed candidate path system, via an exact path-based LP
+//     or the same MWU scheme with the oracle restricted to candidates.
+//
+// The MWU scheme is the classical fictitious-play/experts reduction: edges
+// are experts, each round routes every commodity on a lightest path under
+// exponential-in-load edge lengths, and the final routing is the average of
+// all rounds.
+package mcf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sparseroute/internal/demand"
+	"sparseroute/internal/flow"
+	"sparseroute/internal/graph"
+	"sparseroute/internal/lp"
+)
+
+// Options tunes the approximate solvers.
+type Options struct {
+	// Iterations is the number of MWU rounds (default 256).
+	Iterations int
+	// Eta is the exponential learning rate (default 1.0).
+	Eta float64
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{Iterations: 256, Eta: 1.0}
+	if o != nil {
+		if o.Iterations > 0 {
+			out.Iterations = o.Iterations
+		}
+		if o.Eta > 0 {
+			out.Eta = o.Eta
+		}
+	}
+	return out
+}
+
+// ErrNoCandidates is returned when a demand pair has no candidate path.
+var ErrNoCandidates = errors.New("mcf: demand pair has no candidate paths")
+
+// MinCongestionOnPaths approximately minimizes the maximum relative edge
+// congestion of routing d using only the candidate paths in cand. This is
+// the semi-oblivious rate-adaptation step. The returned routing routes d
+// exactly; its MaxCongestion approaches the restricted optimum as Iterations
+// grows.
+func MinCongestionOnPaths(g *graph.Graph, cand map[demand.Pair][]graph.Path, d *demand.Demand, opt *Options) (flow.Routing, error) {
+	o := opt.withDefaults()
+	support := d.Support()
+	for _, p := range support {
+		if len(cand[p]) == 0 {
+			return nil, fmt.Errorf("%w: %v", ErrNoCandidates, p)
+		}
+	}
+	cum := make([]float64, g.NumEdges()) // cumulative relative load
+	chosen := make(map[demand.Pair][]float64, len(support))
+	for _, p := range support {
+		chosen[p] = make([]float64, len(cand[p]))
+	}
+	for iter := 0; iter < o.Iterations; iter++ {
+		maxCum := 0.0
+		for _, c := range cum {
+			if c > maxCum {
+				maxCum = c
+			}
+		}
+		for _, p := range support {
+			// Lightest candidate under lengths exp(eta*(cum-max))/cap.
+			best, bestLen := 0, math.Inf(1)
+			for j, path := range cand[p] {
+				var l float64
+				for _, id := range path.EdgeIDs {
+					l += math.Exp(o.Eta*(cum[id]-maxCum)) / g.Edge(id).Capacity
+				}
+				if l < bestLen {
+					best, bestLen = j, l
+				}
+			}
+			chosen[p][best]++
+			amt := d.Get(p.U, p.V)
+			for _, id := range cand[p][best].EdgeIDs {
+				cum[id] += amt / g.Edge(id).Capacity
+			}
+		}
+	}
+	out := flow.New()
+	for _, p := range support {
+		amt := d.Get(p.U, p.V)
+		for j, cnt := range chosen[p] {
+			if cnt > 0 {
+				out[p] = append(out[p], flow.WeightedPath{
+					Path:   cand[p][j],
+					Weight: amt * cnt / float64(o.Iterations),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// MinCongestionOnPathsExact solves the same restricted problem exactly with
+// the simplex solver. Intended for small instances (≤ a few hundred
+// candidate paths); larger inputs should use MinCongestionOnPaths.
+func MinCongestionOnPathsExact(g *graph.Graph, cand map[demand.Pair][]graph.Path, d *demand.Demand) (flow.Routing, error) {
+	support := d.Support()
+	// Variable layout: one per (pair, candidate), then z last.
+	type varRef struct {
+		pair demand.Pair
+		j    int
+	}
+	var vars []varRef
+	index := make(map[demand.Pair]int) // first variable index of the pair
+	for _, p := range support {
+		if len(cand[p]) == 0 {
+			return nil, fmt.Errorf("%w: %v", ErrNoCandidates, p)
+		}
+		index[p] = len(vars)
+		for j := range cand[p] {
+			vars = append(vars, varRef{pair: p, j: j})
+		}
+	}
+	n := len(vars) + 1
+	zCol := len(vars)
+	prob := lp.Problem{C: make([]float64, n)}
+	prob.C[zCol] = 1
+	// Demand equalities.
+	for _, p := range support {
+		row := make([]float64, n)
+		for j := range cand[p] {
+			row[index[p]+j] = 1
+		}
+		prob.A = append(prob.A, row)
+		prob.B = append(prob.B, d.Get(p.U, p.V))
+		prob.Rel = append(prob.Rel, lp.EQ)
+	}
+	// Edge capacity rows: Σ x_(paths through e) - cap_e z <= 0. Only edges
+	// actually used by some candidate need a row.
+	edgeRows := make(map[int][]float64)
+	for vi, vr := range vars {
+		for _, id := range cand[vr.pair][vr.j].EdgeIDs {
+			row, ok := edgeRows[id]
+			if !ok {
+				row = make([]float64, n)
+				row[zCol] = -g.Edge(id).Capacity
+				edgeRows[id] = row
+			}
+			row[vi]++
+		}
+	}
+	for id := 0; id < g.NumEdges(); id++ {
+		if row, ok := edgeRows[id]; ok {
+			prob.A = append(prob.A, row)
+			prob.B = append(prob.B, 0)
+			prob.Rel = append(prob.Rel, lp.LE)
+		}
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("mcf: exact adaptation LP failed: %w", err)
+	}
+	out := flow.New()
+	for vi, vr := range vars {
+		if sol.X[vi] > 1e-12 {
+			out[vr.pair] = append(out[vr.pair], flow.WeightedPath{Path: cand[vr.pair][vr.j], Weight: sol.X[vi]})
+		}
+	}
+	return out, nil
+}
+
+// ApproxOptCongestion approximately computes the unrestricted offline
+// optimum: the minimum achievable maximum relative congestion over all
+// (fractional, simple-path) routings of d, returning a routing witnessing it.
+// The oracle is Dijkstra under the MWU lengths, so the result converges to
+// the true fractional optimum.
+func ApproxOptCongestion(g *graph.Graph, d *demand.Demand, opt *Options) (flow.Routing, error) {
+	o := opt.withDefaults()
+	support := d.Support()
+	cum := make([]float64, g.NumEdges())
+	// chosen[pair] maps path key -> (path, count).
+	type pc struct {
+		path  graph.Path
+		count float64
+	}
+	chosen := make(map[demand.Pair]map[string]*pc, len(support))
+	for _, p := range support {
+		chosen[p] = make(map[string]*pc)
+	}
+	lengths := make([]float64, g.NumEdges())
+	for iter := 0; iter < o.Iterations; iter++ {
+		maxCum := 0.0
+		for _, c := range cum {
+			if c > maxCum {
+				maxCum = c
+			}
+		}
+		for id := range lengths {
+			lengths[id] = math.Exp(o.Eta*(cum[id]-maxCum))/g.Edge(id).Capacity + 1e-12
+		}
+		for _, p := range support {
+			path, err := g.LightestPath(p.U, p.V, lengths)
+			if err != nil {
+				return nil, fmt.Errorf("mcf: pair %v disconnected: %w", p, err)
+			}
+			k := path.Key()
+			if entry, ok := chosen[p][k]; ok {
+				entry.count++
+			} else {
+				chosen[p][k] = &pc{path: path, count: 1}
+			}
+			amt := d.Get(p.U, p.V)
+			for _, id := range path.EdgeIDs {
+				cum[id] += amt / g.Edge(id).Capacity
+			}
+		}
+	}
+	out := flow.New()
+	for _, p := range support {
+		amt := d.Get(p.U, p.V)
+		for _, entry := range chosen[p] {
+			out[p] = append(out[p], flow.WeightedPath{
+				Path:   entry.path,
+				Weight: amt * entry.count / float64(o.Iterations),
+			})
+		}
+	}
+	return out, nil
+}
+
+// OptimalCongestionExact returns the exact minimum maximum relative
+// congestion for routing d in g, via the edge-based multicommodity-flow LP
+// (directed arc variables per commodity). Exponential in nothing, but the LP
+// has |supp(d)|·2m variables: use only on small instances.
+func OptimalCongestionExact(g *graph.Graph, d *demand.Demand) (float64, error) {
+	support := d.Support()
+	k := len(support)
+	if k == 0 {
+		return 0, nil
+	}
+	m := g.NumEdges()
+	nV := g.NumVertices()
+	// Variables: for commodity i, arcs 2m (forward=2e, backward=2e+1), then z.
+	n := k*2*m + 1
+	zCol := k * 2 * m
+	arcVar := func(i, e, dir int) int { return i*2*m + 2*e + dir }
+	prob := lp.Problem{C: make([]float64, n)}
+	prob.C[zCol] = 1
+	// Conservation: for each commodity i and vertex v:
+	// out(v) - in(v) = d_i at source, -d_i at sink, 0 elsewhere.
+	for i, p := range support {
+		amt := d.Get(p.U, p.V)
+		for v := 0; v < nV; v++ {
+			row := make([]float64, n)
+			nonzero := false
+			for _, id := range g.Incident(v) {
+				e := g.Edge(id)
+				if e.U == v {
+					row[arcVar(i, id, 0)] += 1 // forward leaves U
+					row[arcVar(i, id, 1)] -= 1
+				} else {
+					row[arcVar(i, id, 0)] -= 1
+					row[arcVar(i, id, 1)] += 1
+				}
+				nonzero = true
+			}
+			if !nonzero && v != p.U && v != p.V {
+				continue
+			}
+			var rhs float64
+			switch v {
+			case p.U:
+				rhs = amt
+			case p.V:
+				rhs = -amt
+			}
+			prob.A = append(prob.A, row)
+			prob.B = append(prob.B, rhs)
+			prob.Rel = append(prob.Rel, lp.EQ)
+		}
+	}
+	// Capacity: Σ_i (fwd + bwd) - cap z <= 0 per edge.
+	for e := 0; e < m; e++ {
+		row := make([]float64, n)
+		for i := 0; i < k; i++ {
+			row[arcVar(i, e, 0)] = 1
+			row[arcVar(i, e, 1)] = 1
+		}
+		row[zCol] = -g.Edge(e).Capacity
+		prob.A = append(prob.A, row)
+		prob.B = append(prob.B, 0)
+		prob.Rel = append(prob.Rel, lp.LE)
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return 0, fmt.Errorf("mcf: exact OPT LP failed: %w", err)
+	}
+	return sol.Value, nil
+}
+
+// DualLowerBound returns a certified lower bound on the optimal congestion
+// from LP duality: for ANY nonnegative edge lengths ℓ,
+//
+//	OPT(d) >= Σ_p d(p)·dist_ℓ(p) / Σ_e ℓ_e·cap_e,
+//
+// because any routing must pay at least dist_ℓ(p) of ℓ-length per unit of
+// demand, and the total ℓ-weighted capacity available per unit of congestion
+// is the denominator. Good length functions (e.g. the exponential lengths an
+// MWU run ends with) make the bound tight.
+func DualLowerBound(g *graph.Graph, d *demand.Demand, lengths []float64) (float64, error) {
+	if len(lengths) != g.NumEdges() {
+		return 0, fmt.Errorf("mcf: %d lengths for %d edges", len(lengths), g.NumEdges())
+	}
+	var denom float64
+	for _, e := range g.Edges() {
+		l := lengths[e.ID]
+		if l < 0 {
+			return 0, fmt.Errorf("mcf: negative length on edge %d", e.ID)
+		}
+		denom += l * e.Capacity
+	}
+	if denom <= 0 {
+		return 0, nil
+	}
+	// One Dijkstra per distinct source.
+	dists := make(map[int][]float64)
+	var num float64
+	for _, p := range d.Support() {
+		dist, ok := dists[p.U]
+		if !ok {
+			dist, _ = g.Dijkstra(p.U, lengths)
+			dists[p.U] = dist
+		}
+		if math.IsInf(dist[p.V], 1) {
+			return 0, fmt.Errorf("mcf: pair %v disconnected", p)
+		}
+		num += d.Get(p.U, p.V) * dist[p.V]
+	}
+	return num / denom, nil
+}
+
+// CertifiedOpt couples the MWU upper bound with the dual lower bound.
+type CertifiedOpt struct {
+	Routing flow.Routing
+	// Upper is the measured congestion of Routing (an achievable value, so
+	// an upper bound on OPT); Lower is the dual certificate (OPT >= Lower).
+	Upper, Lower float64
+}
+
+// Gap returns Upper/Lower, the certified approximation factor (1 = exact).
+func (c *CertifiedOpt) Gap() float64 {
+	if c.Lower <= 0 {
+		return math.Inf(1)
+	}
+	return c.Upper / c.Lower
+}
+
+// ApproxOptWithCertificate runs the MWU OPT solver and certifies its result:
+// the returned interval [Lower, Upper] provably contains the true optimal
+// congestion. The dual lengths are the exponential penalties the MWU run
+// ends with — exactly the duality view that makes multiplicative weights
+// solve the LP.
+func ApproxOptWithCertificate(g *graph.Graph, d *demand.Demand, opt *Options) (*CertifiedOpt, error) {
+	o := opt.withDefaults()
+	routing, err := ApproxOptCongestion(g, d, &o)
+	if err != nil {
+		return nil, err
+	}
+	upper := routing.MaxCongestion(g)
+	// Rebuild the final exponential lengths from the achieved loads.
+	loads := routing.EdgeLoads(g)
+	maxCong := 0.0
+	congs := make([]float64, g.NumEdges())
+	for id := range congs {
+		congs[id] = loads[id] / g.Edge(id).Capacity
+		if congs[id] > maxCong {
+			maxCong = congs[id]
+		}
+	}
+	lengths := make([]float64, g.NumEdges())
+	for id := range lengths {
+		lengths[id] = math.Exp(o.Eta*8*(congs[id]-maxCong)) / g.Edge(id).Capacity
+	}
+	lower, err := DualLowerBound(g, d, lengths)
+	if err != nil {
+		return nil, err
+	}
+	// The trivial distance bound can be stronger on light instances.
+	if alt := ShortestPathLowerBound(g, d); alt > lower {
+		lower = alt
+	}
+	if lower > upper { // numerically impossible interval: clamp
+		lower = upper
+	}
+	return &CertifiedOpt{Routing: routing, Upper: upper, Lower: lower}, nil
+}
+
+// ShortestPathLowerBound returns the universal congestion lower bound
+// Σ_p d(p)·hopdist(p) / Σ_e cap(e): every routing must place at least
+// d(p)·dist(p) units of load, spread over the total capacity (cf. the
+// bounded-congestion Lemma 5.16).
+func ShortestPathLowerBound(g *graph.Graph, d *demand.Demand) float64 {
+	totalCap := g.TotalCapacity()
+	if totalCap == 0 {
+		return 0
+	}
+	// One BFS per distinct source.
+	dists := make(map[int][]int)
+	var loadLB float64
+	for _, p := range d.Support() {
+		dist, ok := dists[p.U]
+		if !ok {
+			dist, _ = g.BFS(p.U)
+			dists[p.U] = dist
+		}
+		if dist[p.V] > 0 {
+			loadLB += d.Get(p.U, p.V) * float64(dist[p.V])
+		}
+	}
+	return loadLB / totalCap
+}

@@ -1,0 +1,91 @@
+package oblivious
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sparseroute/internal/graph/gen"
+)
+
+func BenchmarkRaeckeBuild(b *testing.B) {
+	g := gen.Grid(8, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewPCG(uint64(i+1), 1))
+		if _, err := NewRaecke(g, &RaeckeOptions{NumTrees: 8}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRaeckeSample(b *testing.B) {
+	g := gen.Grid(8, 8)
+	rng := rand.New(rand.NewPCG(2, 2))
+	r, err := NewRaecke(g, &RaeckeOptions{NumTrees: 8}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.NumVertices()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := i % n
+		v := (i*13 + 7) % n
+		if u == v {
+			v = (v + 1) % n
+		}
+		if _, err := r.Sample(u, v, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValiantSample(b *testing.B) {
+	g := gen.Hypercube(8)
+	r, err := NewValiant(g, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 3))
+	n := g.NumVertices()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := i % n
+		v := (i*31 + 5) % n
+		if u == v {
+			v = (v + 1) % n
+		}
+		if _, err := r.Sample(u, v, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKSPPaths(b *testing.B) {
+	g := gen.Grid(6, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewKSP(g, 4, nil) // fresh router: measure Yen, not the cache
+		if _, err := r.Paths(0, 35); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkElectricalDistribution(b *testing.B) {
+	g := gen.Grid(6, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewElectrical(g) // fresh: measure the CG solve + decomposition
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Distribution(0, 35); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package oblivious
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"sparseroute/internal/demand"
+	"sparseroute/internal/flow"
+	"sparseroute/internal/graph"
+	"sparseroute/internal/laplacian"
+)
+
+// Electrical routes every pair along its electrical unit flow (conductances
+// = capacities), decomposed into weighted paths. Electrical flows are the
+// classical ℓ2-optimal oblivious routing; they spread load across parallel
+// routes inversely to resistance and serve here as a principled alternative
+// sampler next to Räcke (used by the E9 ablation).
+type Electrical struct {
+	g   *graph.Graph
+	sys *laplacian.System
+	mu  sync.Mutex
+	// cache[pair] is the decomposed distribution, normalized to weight 1;
+	// guarded by mu (routers are sampled from concurrently).
+	cache map[demand.Pair][]flow.WeightedPath
+}
+
+// NewElectrical prepares the router (the graph must be connected).
+func NewElectrical(g *graph.Graph) (*Electrical, error) {
+	sys, err := laplacian.NewSystem(g)
+	if err != nil {
+		return nil, err
+	}
+	return &Electrical{g: g, sys: sys, cache: make(map[demand.Pair][]flow.WeightedPath)}, nil
+}
+
+// Graph implements Router.
+func (r *Electrical) Graph() *graph.Graph { return r.g }
+
+func (r *Electrical) distribution(u, v int) ([]flow.WeightedPath, error) {
+	pair := demand.MakePair(u, v)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if dist, ok := r.cache[pair]; ok {
+		return dist, nil
+	}
+	unit, err := r.sys.UnitFlow(pair.U, pair.V)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := flow.DecomposeUnitFlow(r.g, pair.U, pair.V, unit, 1e-7)
+	if err != nil {
+		return nil, fmt.Errorf("oblivious: electrical decomposition for %v: %w", pair, err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("oblivious: electrical flow for %v decomposed to nothing", pair)
+	}
+	var total float64
+	for _, wp := range paths {
+		total += wp.Weight
+	}
+	for i := range paths {
+		paths[i].Weight /= total
+	}
+	r.cache[pair] = paths
+	return paths, nil
+}
+
+// Distribution implements Router.
+func (r *Electrical) Distribution(u, v int) ([]flow.WeightedPath, error) {
+	dist, err := r.distribution(u, v)
+	if err != nil {
+		return nil, err
+	}
+	if u <= v {
+		return dist, nil
+	}
+	out := make([]flow.WeightedPath, len(dist))
+	for i, wp := range dist {
+		out[i] = flow.WeightedPath{Path: wp.Path.Reverse(), Weight: wp.Weight}
+	}
+	return out, nil
+}
+
+// Sample implements Router: a path drawn proportionally to its electrical
+// flow weight.
+func (r *Electrical) Sample(u, v int, rng *rand.Rand) (graph.Path, error) {
+	dist, err := r.Distribution(u, v)
+	if err != nil {
+		return graph.Path{}, err
+	}
+	x := rng.Float64()
+	for _, wp := range dist {
+		x -= wp.Weight
+		if x <= 0 {
+			return wp.Path, nil
+		}
+	}
+	return dist[len(dist)-1].Path, nil
+}

@@ -1,0 +1,131 @@
+package oblivious
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"sparseroute/internal/demand"
+	"sparseroute/internal/graph"
+	"sparseroute/internal/graph/gen"
+)
+
+func TestElectricalBasics(t *testing.T) {
+	g := gen.Grid(4, 4)
+	r, err := NewElectrical(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	checkRouterBasics(t, r, [][2]int{{0, 15}, {1, 14}, {5, 10}}, rng)
+}
+
+func TestElectricalRejectsDisconnected(t *testing.T) {
+	g := graph.New(3)
+	g.AddUnitEdge(0, 1)
+	if _, err := NewElectrical(g); err == nil {
+		t.Fatal("disconnected graph should be rejected")
+	}
+}
+
+func TestElectricalParallelPathsSplitEvenly(t *testing.T) {
+	// Diamond: two equal-resistance routes, distribution 50/50.
+	g := graph.New(4)
+	g.AddUnitEdge(0, 1)
+	g.AddUnitEdge(1, 3)
+	g.AddUnitEdge(0, 2)
+	g.AddUnitEdge(2, 3)
+	r, err := NewElectrical(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := r.Distribution(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 2 {
+		t.Fatalf("support=%d, want 2", len(dist))
+	}
+	for _, wp := range dist {
+		if math.Abs(wp.Weight-0.5) > 1e-6 {
+			t.Fatalf("weight=%v, want 0.5", wp.Weight)
+		}
+	}
+}
+
+func TestElectricalPrefersLowResistance(t *testing.T) {
+	// Heavier (higher-capacity) route carries more probability.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 3, 4)
+	g.AddUnitEdge(0, 2)
+	g.AddUnitEdge(2, 3)
+	r, err := NewElectrical(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := r.Distribution(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var heavy, light float64
+	for _, wp := range dist {
+		vs, _ := wp.Path.Vertices(g)
+		if len(vs) == 3 && vs[1] == 1 {
+			heavy = wp.Weight
+		} else {
+			light = wp.Weight
+		}
+	}
+	if heavy <= light {
+		t.Fatalf("heavy route weight %v should exceed light %v", heavy, light)
+	}
+	// R_heavy = 1/4+1/4 = 0.5, R_light = 2: split 4:1.
+	if math.Abs(heavy-0.8) > 0.01 {
+		t.Fatalf("heavy weight=%v, want ~0.8", heavy)
+	}
+}
+
+func TestElectricalCongestionReasonable(t *testing.T) {
+	g := gen.Hypercube(4)
+	r, err := NewElectrical(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	d := demand.RandomPermutation(16, 8, rng)
+	c, err := Congestion(r, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 || c > 8 {
+		t.Fatalf("electrical congestion %v out of plausible band", c)
+	}
+}
+
+func TestElectricalDirectionConsistency(t *testing.T) {
+	g := gen.Grid(3, 3)
+	r, err := NewElectrical(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, err := r.Distribution(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := r.Distribution(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fwd) != len(rev) {
+		t.Fatal("asymmetric support sizes")
+	}
+	for i := range fwd {
+		if fwd[i].Path.Key() != rev[i].Path.Key() {
+			t.Fatal("reverse distribution should mirror the same paths")
+		}
+		if rev[i].Path.Src != 8 {
+			t.Fatal("reverse paths must start at the queried source")
+		}
+	}
+}

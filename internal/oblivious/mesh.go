@@ -1,0 +1,244 @@
+package oblivious
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"sparseroute/internal/flow"
+	"sparseroute/internal/graph"
+)
+
+// MeshMode selects the classical mesh (grid) routing discipline.
+type MeshMode int
+
+const (
+	// XY routes row-first then column-first: the deterministic
+	// dimension-ordered routing of mesh interconnects. One path per pair —
+	// the mesh analogue of greedy bit-fixing, with the same worst-case
+	// concentration problems.
+	XY MeshMode = iota
+	// O1Turn picks XY or YX uniformly at random: two candidate paths,
+	// a classical 1-bit randomization with much better worst-case load.
+	O1Turn
+	// ROMM routes through a uniformly random intermediate inside the
+	// source-destination bounding box, each leg dimension-ordered: the
+	// mesh analogue of Valiant's trick restricted to minimal paths.
+	ROMM
+)
+
+// Mesh is dimension-ordered routing on a rows x cols grid as produced by
+// gen.Grid (vertex (r, c) has index r*cols + c), or on the torus produced by
+// gen.Torus when built with NewMeshTorus. It provides the classical
+// interconnect baselines for the grid experiments: XY (deterministic),
+// O1TURN (two paths), ROMM (randomized minimal).
+type Mesh struct {
+	g          *graph.Graph
+	rows, cols int
+	mode       MeshMode
+	wrap       bool
+}
+
+// NewMesh validates that g is the rows x cols grid and returns the router.
+func NewMesh(g *graph.Graph, rows, cols int, mode MeshMode) (*Mesh, error) {
+	return newMesh(g, rows, cols, mode, false)
+}
+
+// NewMeshTorus is NewMesh for the rows x cols torus: dimension-ordered
+// movement takes the shorter wrap direction in each dimension.
+func NewMeshTorus(g *graph.Graph, rows, cols int, mode MeshMode) (*Mesh, error) {
+	return newMesh(g, rows, cols, mode, true)
+}
+
+func newMesh(g *graph.Graph, rows, cols int, mode MeshMode, wrap bool) (*Mesh, error) {
+	if rows < 1 || cols < 1 || g.NumVertices() != rows*cols {
+		return nil, fmt.Errorf("oblivious: graph has %d vertices, want %d x %d", g.NumVertices(), rows, cols)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols && g.FindEdge(v, v+1) < 0 {
+				return nil, fmt.Errorf("oblivious: missing grid edge (%d,%d)-(%d,%d)", r, c, r, c+1)
+			}
+			if r+1 < rows && g.FindEdge(v, v+cols) < 0 {
+				return nil, fmt.Errorf("oblivious: missing grid edge (%d,%d)-(%d,%d)", r, c, r+1, c)
+			}
+		}
+	}
+	if wrap {
+		for r := 0; r < rows; r++ {
+			if g.FindEdge(r*cols+cols-1, r*cols) < 0 {
+				return nil, fmt.Errorf("oblivious: missing row wrap edge at row %d", r)
+			}
+		}
+		for c := 0; c < cols; c++ {
+			if g.FindEdge((rows-1)*cols+c, c) < 0 {
+				return nil, fmt.Errorf("oblivious: missing column wrap edge at col %d", c)
+			}
+		}
+	}
+	if mode != XY && mode != O1Turn && mode != ROMM {
+		return nil, fmt.Errorf("oblivious: unknown mesh mode %d", mode)
+	}
+	return &Mesh{g: g, rows: rows, cols: cols, mode: mode, wrap: wrap}, nil
+}
+
+// Graph implements Router.
+func (m *Mesh) Graph() *graph.Graph { return m.g }
+
+func (m *Mesh) coords(v int) (r, c int) { return v / m.cols, v % m.cols }
+
+// straight walks from u to w changing only one coordinate at a time:
+// columns first when colFirst, rows first otherwise.
+func (m *Mesh) straight(u, w int, colFirst bool) graph.Path {
+	p := graph.Path{Src: u, Dst: w}
+	cur := u
+	step := func(next int) {
+		p.EdgeIDs = append(p.EdgeIDs, m.g.FindEdge(cur, next))
+		cur = next
+	}
+	r0, c0 := m.coords(u)
+	r1, c1 := m.coords(w)
+	// dir returns the per-step increment from a to b over n positions:
+	// straight-line on a mesh, shorter wrap direction on a torus.
+	dir := func(a, b, n int) int {
+		if a == b {
+			return 0
+		}
+		if !m.wrap {
+			if a < b {
+				return 1
+			}
+			return -1
+		}
+		fwd := ((b-a)%n + n) % n
+		if fwd <= n-fwd {
+			return 1
+		}
+		return -1
+	}
+	moveCols := func() {
+		d := dir(c0, c1, m.cols)
+		for c0 != c1 {
+			c0 = ((c0+d)%m.cols + m.cols) % m.cols
+			step(r0*m.cols + c0)
+		}
+	}
+	moveRows := func() {
+		d := dir(r0, r1, m.rows)
+		for r0 != r1 {
+			r0 = ((r0+d)%m.rows + m.rows) % m.rows
+			step(r0*m.cols + c0)
+		}
+	}
+	if colFirst {
+		moveCols()
+		moveRows()
+	} else {
+		moveRows()
+		moveCols()
+	}
+	return p
+}
+
+// Sample implements Router.
+func (m *Mesh) Sample(u, v int, rng *rand.Rand) (graph.Path, error) {
+	if u == v {
+		return graph.Path{Src: u, Dst: v}, nil
+	}
+	switch m.mode {
+	case XY:
+		return m.straight(u, v, true), nil
+	case O1Turn:
+		return m.straight(u, v, rng.IntN(2) == 0), nil
+	default: // ROMM
+		r0, c0 := m.coords(u)
+		r1, c1 := m.coords(v)
+		rowArc := m.arcPositions(r0, r1, m.rows)
+		colArc := m.arcPositions(c0, c1, m.cols)
+		w := rowArc[rng.IntN(len(rowArc))]*m.cols + colArc[rng.IntN(len(colArc))]
+		first := m.straight(u, w, true)
+		second := m.straight(w, v, false)
+		joined, err := graph.Concat(first, second)
+		if err != nil {
+			return graph.Path{}, err
+		}
+		return graph.Simplify(m.g, joined)
+	}
+}
+
+// arcPositions lists the coordinate positions between a and b inclusive:
+// the straight segment on a mesh, the shorter wrap arc on a torus.
+func (m *Mesh) arcPositions(a, b, n int) []int {
+	if a == b {
+		return []int{a}
+	}
+	step := 1
+	if !m.wrap {
+		if a > b {
+			step = -1
+		}
+	} else {
+		fwd := ((b-a)%n + n) % n
+		if fwd > n-fwd {
+			step = -1
+		}
+	}
+	out := []int{a}
+	for cur := a; cur != b; {
+		cur = ((cur+step)%n + n) % n
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Distribution implements Router.
+func (m *Mesh) Distribution(u, v int) ([]flow.WeightedPath, error) {
+	if u == v {
+		return []flow.WeightedPath{{Path: graph.Path{Src: u, Dst: v}, Weight: 1}}, nil
+	}
+	switch m.mode {
+	case XY:
+		return []flow.WeightedPath{{Path: m.straight(u, v, true), Weight: 1}}, nil
+	case O1Turn:
+		xy := m.straight(u, v, true)
+		yx := m.straight(u, v, false)
+		if xy.Key() == yx.Key() { // same row or column: one path
+			return []flow.WeightedPath{{Path: xy, Weight: 1}}, nil
+		}
+		return []flow.WeightedPath{
+			{Path: xy, Weight: 0.5},
+			{Path: yx, Weight: 0.5},
+		}, nil
+	default: // ROMM: enumerate the minimal rectangle (shorter arcs)
+		r0, c0 := m.coords(u)
+		r1, c1 := m.coords(v)
+		rowArc := m.arcPositions(r0, r1, m.rows)
+		colArc := m.arcPositions(c0, c1, m.cols)
+		wgt := 1.0 / float64(len(rowArc)*len(colArc))
+		byKey := make(map[string]int)
+		var out []flow.WeightedPath
+		for _, r := range rowArc {
+			for _, c := range colArc {
+				w := r*m.cols + c
+				first := m.straight(u, w, true)
+				second := m.straight(w, v, false)
+				joined, err := graph.Concat(first, second)
+				if err != nil {
+					return nil, err
+				}
+				p, err := graph.Simplify(m.g, joined)
+				if err != nil {
+					return nil, err
+				}
+				k := p.Key()
+				if idx, ok := byKey[k]; ok {
+					out[idx].Weight += wgt
+				} else {
+					byKey[k] = len(out)
+					out = append(out, flow.WeightedPath{Path: p, Weight: wgt})
+				}
+			}
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,92 @@
+// Package oblivious implements oblivious routings: demand-independent
+// distributions over paths for every vertex pair (Section 4 of the paper).
+//
+// The paper's semi-oblivious construction (Definition 5.2) samples a few
+// paths per pair from any competitive oblivious routing; this package
+// provides the samplers:
+//
+//   - Raecke: a congestion-adaptive mixture of FRT decomposition trees, the
+//     practical stand-in for Räcke's O(log n)-competitive routing (the same
+//     construction SMORE uses);
+//   - Valiant: the classical hypercube routing through a uniformly random
+//     intermediate vertex, and the deterministic greedy bit-fixing baseline
+//     whose Ω(sqrt(N)/d) worst case motivates the whole paper;
+//   - HopConstrained: a Valiant-style hop-budgeted family substituting for
+//     the hop-constrained oblivious routings of GHZ21 (completion time);
+//   - SPF / KSP / RandomDetour: traffic-engineering baselines and ablation
+//     samplers.
+package oblivious
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"sparseroute/internal/demand"
+	"sparseroute/internal/flow"
+	"sparseroute/internal/graph"
+)
+
+// Router is an oblivious routing: for each vertex pair it fixes a
+// distribution over simple u-v paths, independent of any demand.
+type Router interface {
+	// Graph returns the graph the router routes on.
+	Graph() *graph.Graph
+	// Sample draws one path from the pair's distribution.
+	Sample(u, v int, rng *rand.Rand) (graph.Path, error)
+	// Distribution returns the full distribution as weighted paths whose
+	// weights sum to 1. Implementations with large supports document their
+	// cost; all supports in this package are at most O(n) per pair.
+	Distribution(u, v int) ([]flow.WeightedPath, error)
+}
+
+// FractionalRouting routes the demand d through r's distributions: each pair
+// (u,v) sends d(u,v) split across Distribution(u,v) proportionally. This is
+// the routing whose congestion defines "cong(R, d)" for an oblivious routing.
+func FractionalRouting(r Router, d *demand.Demand) (flow.Routing, error) {
+	out := flow.New()
+	for _, p := range d.Support() {
+		dist, err := r.Distribution(p.U, p.V)
+		if err != nil {
+			return nil, fmt.Errorf("oblivious: pair %v: %w", p, err)
+		}
+		amt := d.Get(p.U, p.V)
+		for _, wp := range dist {
+			out[p] = append(out[p], flow.WeightedPath{Path: wp.Path, Weight: amt * wp.Weight})
+		}
+	}
+	return out, nil
+}
+
+// Congestion returns the maximum relative edge congestion of routing d
+// obliviously through r.
+func Congestion(r Router, d *demand.Demand) (float64, error) {
+	routing, err := FractionalRouting(r, d)
+	if err != nil {
+		return 0, err
+	}
+	return routing.MaxCongestion(r.Graph()), nil
+}
+
+// SampleMany draws k independent paths for the pair (with replacement),
+// exactly the R-sample primitive of Definition 5.2.
+func SampleMany(r Router, u, v, k int, rng *rand.Rand) ([]graph.Path, error) {
+	out := make([]graph.Path, 0, k)
+	for i := 0; i < k; i++ {
+		p, err := r.Sample(u, v, rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// normalizePair orients (u, v) and reports whether it was swapped; routers
+// with direction-independent distributions use it so Sample(u,v) and
+// Sample(v,u) agree.
+func normalizePair(u, v int) (int, int, bool) {
+	if u > v {
+		return v, u, true
+	}
+	return u, v, false
+}

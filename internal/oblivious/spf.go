@@ -1,0 +1,72 @@
+package oblivious
+
+import (
+	"math/rand/v2"
+	"sync"
+
+	"sparseroute/internal/flow"
+	"sparseroute/internal/graph"
+)
+
+// SPF is deterministic shortest-path-first routing: every pair uses one
+// fixed minimum-hop path. It is the classical traffic-engineering baseline
+// (and a maximally non-oblivious-competitive one: a single deterministic
+// path per pair is exactly the regime the lower bound of [19] punishes).
+type SPF struct {
+	g  *graph.Graph
+	mu sync.Mutex
+	// parent[src] is the BFS parent-edge array from src, built lazily;
+	// guarded by mu (routers are sampled from concurrently).
+	parent map[int][]int
+}
+
+// NewSPF returns an SPF router on g.
+func NewSPF(g *graph.Graph) *SPF {
+	return &SPF{g: g, parent: make(map[int][]int)}
+}
+
+// Graph implements Router.
+func (s *SPF) Graph() *graph.Graph { return s.g }
+
+func (s *SPF) path(u, v int) (graph.Path, error) {
+	u, v, swapped := normalizePair(u, v)
+	s.mu.Lock()
+	par, ok := s.parent[u]
+	if !ok {
+		_, par = s.g.BFS(u)
+		s.parent[u] = par
+	}
+	s.mu.Unlock()
+	var ids []int
+	cur := v
+	for cur != u {
+		id := par[cur]
+		if id < 0 {
+			return graph.Path{}, graph.ErrNoPath
+		}
+		ids = append(ids, id)
+		cur = s.g.Edge(id).Other(cur)
+	}
+	for i, j := 0, len(ids)-1; i < j; i, j = i+1, j-1 {
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	p := graph.Path{Src: u, Dst: v, EdgeIDs: ids}
+	if swapped {
+		p = p.Reverse()
+	}
+	return p, nil
+}
+
+// Sample implements Router; the distribution is a point mass.
+func (s *SPF) Sample(u, v int, _ *rand.Rand) (graph.Path, error) {
+	return s.path(u, v)
+}
+
+// Distribution implements Router.
+func (s *SPF) Distribution(u, v int) ([]flow.WeightedPath, error) {
+	p, err := s.path(u, v)
+	if err != nil {
+		return nil, err
+	}
+	return []flow.WeightedPath{{Path: p, Weight: 1}}, nil
+}

@@ -1,0 +1,61 @@
+// Package par provides the small parallel-execution helpers used by the
+// samplers and evaluators: a bounded worker pool over an index range, in the
+// fixed-worker style recommended for Go services (share memory by
+// communicating; a fixed number of goroutines drains one work channel).
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across min(GOMAXPROCS, n)
+// goroutines and returns when all calls complete. fn must be safe to call
+// concurrently for distinct indices; writes should go to per-index slots.
+func ForEach(n int, fn func(i int)) {
+	ForEachWorkers(n, runtime.GOMAXPROCS(0), fn)
+}
+
+// ForEachWorkers is ForEach with an explicit worker count.
+func ForEachWorkers(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
+// MapReduce runs mapFn over [0, n) in parallel and folds the results with
+// reduceFn sequentially in index order (deterministic reduction).
+func MapReduce[T any, R any](n int, mapFn func(i int) T, init R, reduceFn func(acc R, v T) R) R {
+	results := make([]T, n)
+	ForEach(n, func(i int) { results[i] = mapFn(i) })
+	acc := init
+	for i := 0; i < n; i++ {
+		acc = reduceFn(acc, results[i])
+	}
+	return acc
+}

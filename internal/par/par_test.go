@@ -1,0 +1,63 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	const n = 1000
+	hits := make([]int32, n)
+	ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	called := false
+	ForEach(0, func(int) { called = true })
+	ForEach(-3, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachWorkersSingle(t *testing.T) {
+	order := make([]int, 0, 5)
+	ForEachWorkers(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker execution out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachWorkersMoreWorkersThanItems(t *testing.T) {
+	var count int64
+	ForEachWorkers(3, 100, func(int) { atomic.AddInt64(&count, 1) })
+	if count != 3 {
+		t.Fatalf("count=%d", count)
+	}
+}
+
+func TestMapReduceDeterministicOrder(t *testing.T) {
+	// Reduction must happen in index order: build a string-like sequence.
+	got := MapReduce(5, func(i int) int { return i }, []int{}, func(acc []int, v int) []int {
+		return append(acc, v)
+	})
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("reduction out of order: %v", got)
+		}
+	}
+}
+
+func TestMapReduceSum(t *testing.T) {
+	sum := MapReduce(100, func(i int) int { return i }, 0, func(a, v int) int { return a + v })
+	if sum != 4950 {
+		t.Fatalf("sum=%d", sum)
+	}
+}

@@ -1,0 +1,223 @@
+// Package serial defines the on-disk JSON formats for graphs, demands, path
+// systems and routings, so topologies and installed path systems can be
+// generated once, inspected, versioned, and replayed — the workflow the
+// cmd/sparseroute tool exposes (generate topology → sample system → adapt to
+// demands), mirroring how a traffic-engineering pipeline would deploy the
+// construction.
+package serial
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sparseroute/internal/core"
+	"sparseroute/internal/demand"
+	"sparseroute/internal/flow"
+	"sparseroute/internal/graph"
+)
+
+// GraphJSON is the graph wire format.
+type GraphJSON struct {
+	Vertices int        `json:"vertices"`
+	Edges    []EdgeJSON `json:"edges"`
+}
+
+// EdgeJSON is one edge. Edge IDs are implicit: the i-th entry has ID i.
+type EdgeJSON struct {
+	U        int     `json:"u"`
+	V        int     `json:"v"`
+	Capacity float64 `json:"capacity"`
+}
+
+// EncodeGraph writes g as JSON.
+func EncodeGraph(w io.Writer, g *graph.Graph) error {
+	out := GraphJSON{Vertices: g.NumVertices()}
+	for _, e := range g.Edges() {
+		out.Edges = append(out.Edges, EdgeJSON{U: e.U, V: e.V, Capacity: e.Capacity})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// DecodeGraph reads a graph from JSON. Edge IDs are assigned in file order,
+// so paths serialized against this graph stay valid.
+func DecodeGraph(r io.Reader) (*graph.Graph, error) {
+	var in GraphJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("serial: decoding graph: %w", err)
+	}
+	if in.Vertices < 0 {
+		return nil, fmt.Errorf("serial: negative vertex count")
+	}
+	g := graph.New(in.Vertices)
+	for i, e := range in.Edges {
+		if e.U < 0 || e.U >= in.Vertices || e.V < 0 || e.V >= in.Vertices || e.U == e.V || e.Capacity <= 0 {
+			return nil, fmt.Errorf("serial: edge %d invalid: %+v", i, e)
+		}
+		g.AddEdge(e.U, e.V, e.Capacity)
+	}
+	return g, nil
+}
+
+// DemandJSON is the demand wire format.
+type DemandJSON struct {
+	Entries []DemandEntryJSON `json:"entries"`
+}
+
+// DemandEntryJSON is one demand pair.
+type DemandEntryJSON struct {
+	U      int     `json:"u"`
+	V      int     `json:"v"`
+	Amount float64 `json:"amount"`
+}
+
+// EncodeDemand writes d as JSON (sorted pairs, deterministic output).
+func EncodeDemand(w io.Writer, d *demand.Demand) error {
+	var out DemandJSON
+	for _, p := range d.Support() {
+		out.Entries = append(out.Entries, DemandEntryJSON{U: p.U, V: p.V, Amount: d.Get(p.U, p.V)})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// DecodeDemand reads a demand from JSON.
+func DecodeDemand(r io.Reader) (*demand.Demand, error) {
+	var in DemandJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("serial: decoding demand: %w", err)
+	}
+	d := demand.New()
+	for i, e := range in.Entries {
+		if e.U == e.V || e.Amount <= 0 {
+			return nil, fmt.Errorf("serial: demand entry %d invalid: %+v", i, e)
+		}
+		d.Add(e.U, e.V, e.Amount)
+	}
+	return d, nil
+}
+
+// PathSystemJSON is the path-system wire format. Paths reference edge IDs of
+// the accompanying graph file.
+type PathSystemJSON struct {
+	Pairs []PairPathsJSON `json:"pairs"`
+}
+
+// PairPathsJSON holds the candidate paths of one pair.
+type PairPathsJSON struct {
+	U     int     `json:"u"`
+	V     int     `json:"v"`
+	Paths [][]int `json:"paths"`
+}
+
+// EncodePathSystem writes ps as JSON.
+func EncodePathSystem(w io.Writer, ps *core.PathSystem) error {
+	var out PathSystemJSON
+	for _, pr := range ps.Pairs() {
+		pp := PairPathsJSON{U: pr.U, V: pr.V}
+		for _, p := range ps.Paths(pr.U, pr.V) {
+			ids := p.EdgeIDs
+			if ids == nil {
+				ids = []int{}
+			}
+			// Orient each stored path from pr.U for a canonical encoding.
+			if p.Src != pr.U {
+				ids = p.Reverse().EdgeIDs
+			}
+			pp.Paths = append(pp.Paths, ids)
+		}
+		out.Pairs = append(out.Pairs, pp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// DecodePathSystem reads a path system over g from JSON. Every path is
+// validated against g.
+func DecodePathSystem(r io.Reader, g *graph.Graph) (*core.PathSystem, error) {
+	var in PathSystemJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("serial: decoding path system: %w", err)
+	}
+	ps := core.NewPathSystem(g)
+	for _, pp := range in.Pairs {
+		for i, ids := range pp.Paths {
+			p := graph.Path{Src: pp.U, Dst: pp.V, EdgeIDs: ids}
+			if err := ps.AddPath(p); err != nil {
+				return nil, fmt.Errorf("serial: pair (%d,%d) path %d: %w", pp.U, pp.V, i, err)
+			}
+		}
+	}
+	return ps, nil
+}
+
+// RoutingJSON is the routing wire format.
+type RoutingJSON struct {
+	Pairs []PairFlowsJSON `json:"pairs"`
+}
+
+// PairFlowsJSON holds the weighted paths of one pair.
+type PairFlowsJSON struct {
+	U     int                `json:"u"`
+	V     int                `json:"v"`
+	Paths []WeightedPathJSON `json:"paths"`
+}
+
+// WeightedPathJSON is one weighted path.
+type WeightedPathJSON struct {
+	Edges  []int   `json:"edges"`
+	Weight float64 `json:"weight"`
+}
+
+// EncodeRouting writes a routing as JSON.
+func EncodeRouting(w io.Writer, g *graph.Graph, r flow.Routing) error {
+	var out RoutingJSON
+	// Deterministic order via a temporary demand built from the routing.
+	d := demand.New()
+	for pr := range r {
+		d.Set(pr.U, pr.V, 1)
+	}
+	for _, pr := range d.Support() {
+		pf := PairFlowsJSON{U: pr.U, V: pr.V}
+		for _, wp := range r[pr] {
+			ids := wp.Path.EdgeIDs
+			if wp.Path.Src != pr.U {
+				ids = wp.Path.Reverse().EdgeIDs
+			}
+			if ids == nil {
+				ids = []int{}
+			}
+			pf.Paths = append(pf.Paths, WeightedPathJSON{Edges: ids, Weight: wp.Weight})
+		}
+		out.Pairs = append(out.Pairs, pf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// DecodeRouting reads a routing over g from JSON, validating every path.
+func DecodeRouting(r io.Reader, g *graph.Graph) (flow.Routing, error) {
+	var in RoutingJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("serial: decoding routing: %w", err)
+	}
+	out := flow.New()
+	for _, pf := range in.Pairs {
+		for i, wp := range pf.Paths {
+			p := graph.Path{Src: pf.U, Dst: pf.V, EdgeIDs: wp.Edges}
+			if err := p.Validate(g); err != nil {
+				return nil, fmt.Errorf("serial: pair (%d,%d) path %d: %w", pf.U, pf.V, i, err)
+			}
+			if wp.Weight <= 0 {
+				return nil, fmt.Errorf("serial: pair (%d,%d) path %d: nonpositive weight", pf.U, pf.V, i)
+			}
+			out.AddFlow(p, wp.Weight)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package serial
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"sparseroute/internal/core"
+	"sparseroute/internal/demand"
+	"sparseroute/internal/flow"
+	"sparseroute/internal/graph/gen"
+	"sparseroute/internal/oblivious"
+)
+
+func TestGraphRoundTrip(t *testing.T) {
+	g := gen.SyntheticWAN(12, 10, rand.New(rand.NewPCG(1, 1)))
+	var buf bytes.Buffer
+	if err := EncodeGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := DecodeGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch: %v vs %v", g2, g)
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(i), g2.Edge(i)
+		if a.U != b.U || a.V != b.V || a.Capacity != b.Capacity {
+			t.Fatalf("edge %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestDecodeGraphRejectsBadEdges(t *testing.T) {
+	cases := []string{
+		`{"vertices":2,"edges":[{"u":0,"v":5,"capacity":1}]}`,
+		`{"vertices":2,"edges":[{"u":0,"v":0,"capacity":1}]}`,
+		`{"vertices":2,"edges":[{"u":0,"v":1,"capacity":0}]}`,
+		`{"vertices":-1,"edges":[]}`,
+		`not json`,
+	}
+	for i, c := range cases {
+		if _, err := DecodeGraph(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should be rejected", i)
+		}
+	}
+}
+
+func TestDemandRoundTrip(t *testing.T) {
+	d := demand.New()
+	d.Set(0, 3, 2.5)
+	d.Set(1, 2, 1)
+	var buf bytes.Buffer
+	if err := EncodeDemand(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DecodeDemand(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !demand.Equal(d, d2, 1e-12) {
+		t.Fatalf("demands differ: %v vs %v", d, d2)
+	}
+}
+
+func TestDecodeDemandRejectsBadEntries(t *testing.T) {
+	cases := []string{
+		`{"entries":[{"u":1,"v":1,"amount":1}]}`,
+		`{"entries":[{"u":0,"v":1,"amount":0}]}`,
+		`nope`,
+	}
+	for i, c := range cases {
+		if _, err := DecodeDemand(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should be rejected", i)
+		}
+	}
+}
+
+func TestPathSystemRoundTrip(t *testing.T) {
+	g := gen.Hypercube(3)
+	router, err := oblivious.NewValiant(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []demand.Pair{{U: 0, V: 7}, {U: 1, V: 6}}
+	ps, err := core.RSample(router, pairs, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodePathSystem(&buf, ps); err != nil {
+		t.Fatal(err)
+	}
+	ps2, err := DecodePathSystem(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps2.TotalPaths() != ps.TotalPaths() || ps2.Sparsity() != ps.Sparsity() {
+		t.Fatalf("system shape mismatch: %d/%d vs %d/%d",
+			ps2.TotalPaths(), ps2.Sparsity(), ps.TotalPaths(), ps.Sparsity())
+	}
+	for _, pr := range pairs {
+		a := ps.Unique(pr.U, pr.V)
+		b := ps2.Unique(pr.U, pr.V)
+		if len(a) != len(b) {
+			t.Fatalf("pair %v unique mismatch", pr)
+		}
+	}
+	if err := ps2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodePathSystemValidatesPaths(t *testing.T) {
+	g := gen.Ring(4)
+	bad := `{"pairs":[{"u":0,"v":2,"paths":[[0,3]]}]}`
+	if _, err := DecodePathSystem(strings.NewReader(bad), g); err == nil {
+		t.Fatal("disconnected edge sequence should be rejected")
+	}
+}
+
+func TestRoutingRoundTrip(t *testing.T) {
+	g := gen.Grid(3, 3)
+	p1, _ := g.ShortestPathHops(0, 8)
+	p2, _ := g.ShortestPathHops(2, 6)
+	r := flow.New()
+	r.AddFlow(p1, 1.5)
+	r.AddFlow(p2, 2)
+	var buf bytes.Buffer
+	if err := EncodeRouting(&buf, g, r); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := DecodeRouting(bytes.NewReader(buf.Bytes()), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.TotalFlow() != r.TotalFlow() {
+		t.Fatalf("flow mismatch: %v vs %v", r2.TotalFlow(), r.TotalFlow())
+	}
+	if r2.MaxCongestion(g) != r.MaxCongestion(g) {
+		t.Fatalf("congestion mismatch")
+	}
+}
+
+func TestDecodeRoutingValidates(t *testing.T) {
+	g := gen.Ring(4)
+	bad := `{"pairs":[{"u":0,"v":1,"paths":[{"edges":[0],"weight":-1}]}]}`
+	if _, err := DecodeRouting(strings.NewReader(bad), g); err == nil {
+		t.Fatal("negative weight should be rejected")
+	}
+	bad2 := `{"pairs":[{"u":0,"v":2,"paths":[{"edges":[0],"weight":1}]}]}`
+	if _, err := DecodeRouting(strings.NewReader(bad2), g); err == nil {
+		t.Fatal("wrong endpoint should be rejected")
+	}
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMaxMin(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 || Max(xs) != 3 || Min(xs) != 1 {
+		t.Fatalf("mean=%v max=%v min=%v", Mean(xs), Max(xs), Min(xs))
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 {
+		t.Fatal("empty inputs should give 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean=%v, want 2", g)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("nonpositive value should give 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty should give 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0=%v", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Fatalf("q1=%v", q)
+	}
+	if q := Quantile(xs, 0.5); math.Abs(q-2.5) > 1e-12 {
+		t.Fatalf("median=%v, want 2.5", q)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{1}) != 0 {
+		t.Fatal("single sample stddev should be 0")
+	}
+	if s := Stddev([]float64{1, 3}); math.Abs(s-math.Sqrt2) > 1e-12 {
+		t.Fatalf("stddev=%v", s)
+	}
+}
+
+func TestQuantileBoundsProperty(t *testing.T) {
+	f := func(raw []float64, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i := range raw {
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				raw[i] = 0
+			}
+		}
+		q := float64(qRaw) / 255
+		v := Quantile(raw, q)
+		return v >= Min(raw)-1e-9 && v <= Max(raw)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+		Notes:  []string{"a note"},
+	}
+	tbl.AddRow("alpha", F(1.5))
+	tbl.AddRow("b", F(0.123456))
+	out := tbl.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.50") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "0.123") {
+		t.Fatalf("small float misformatted:\n%s", out)
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Fatalf("missing note:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title, header, separator, 2 rows, note
+	if len(lines) != 6 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFFormats(t *testing.T) {
+	if F(0) != "0" {
+		t.Fatal(F(0))
+	}
+	if F(123.4) != "123" {
+		t.Fatal(F(123.4))
+	}
+	if F(2.345) != "2.35" {
+		t.Fatal(F(2.345))
+	}
+}
