@@ -1,0 +1,179 @@
+// Command routed is the online routing daemon: the serving form of the
+// sparse semi-oblivious construction. At startup it loads a topology and
+// runs the offline phase once (sample R candidate paths per pair from an
+// oblivious routing) — or restores a previously snapshotted path system and
+// skips resampling entirely — then serves the online phase over HTTP:
+//
+//	POST /v1/demand     push a demand-matrix epoch (?wait=1 blocks on solve)
+//	GET  /v1/paths      candidate paths + live sending rates for ?src=&dst=
+//	GET  /v1/routing    the full active routing
+//	POST /v1/snapshot   persist the path system to the --snapshot file
+//	GET  /debug/vars    expvar metrics (epochs, latency quantiles, fallbacks)
+//	GET  /healthz       liveness
+//
+// Reads are lock-free while epochs solve; a solve that fails or misses
+// --deadline leaves the last good routing serving (a fallback counter
+// increments). SIGINT/SIGTERM drains in-flight solves, writes a final
+// snapshot when --snapshot is set, and exits.
+//
+// Example:
+//
+//	sparseroute topo -kind wan -n 24 -extra 36 -out topo.json
+//	routed -topo topo.json -router raecke -s 4 -snapshot sys.snap &
+//	curl -X POST 'localhost:8344/v1/demand?wait=1' -d '{"entries":[{"u":0,"v":9,"amount":2}]}'
+//	curl 'localhost:8344/v1/paths?src=0&dst=9'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sparseroute/internal/oblivious"
+	"sparseroute/internal/serial"
+	"sparseroute/internal/service"
+)
+
+type options struct {
+	addr     string
+	topo     string
+	router   string
+	r        int
+	seed     uint64
+	dim      int
+	trees    int
+	k        int
+	workers  int
+	queue    int
+	deadline time.Duration
+	snapshot string
+}
+
+func parseFlags(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("routed", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", "localhost:8344", "listen address")
+	fs.StringVar(&o.topo, "topo", "topo.json", "topology file (ignored when -snapshot restores)")
+	fs.StringVar(&o.router, "router", "raecke", strings.Join(oblivious.RouterNames(), "|"))
+	fs.IntVar(&o.r, "s", 4, "paths sampled per pair (R)")
+	fs.Uint64Var(&o.seed, "seed", 1, "sampling seed")
+	fs.IntVar(&o.dim, "dim", 0, "hypercube dimension (valiant; 0 = infer)")
+	fs.IntVar(&o.trees, "trees", 12, "raecke tree count")
+	fs.IntVar(&o.k, "k", 4, "ksp path count")
+	fs.IntVar(&o.workers, "workers", 2, "concurrent epoch solves")
+	fs.IntVar(&o.queue, "queue", 16, "pending epochs before load shedding")
+	fs.DurationVar(&o.deadline, "deadline", 0, "per-epoch solve deadline (0 = none)")
+	fs.StringVar(&o.snapshot, "snapshot", "", "snapshot file: restored at startup when present, written by POST /v1/snapshot and at shutdown")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// buildEngine restores the engine from o.snapshot when that file exists,
+// otherwise samples a fresh path system from the topology file.
+func buildEngine(o *options) (*service.Engine, bool, error) {
+	cfg := service.Config{
+		R:             o.r,
+		Seed:          o.seed,
+		Workers:       o.workers,
+		QueueDepth:    o.queue,
+		SolveDeadline: o.deadline,
+		RouterName:    o.router,
+	}
+	if o.snapshot != "" {
+		if f, err := os.Open(o.snapshot); err == nil {
+			defer f.Close()
+			e, err := service.Restore(f, cfg)
+			if err != nil {
+				return nil, false, fmt.Errorf("restoring %s: %w", o.snapshot, err)
+			}
+			return e, true, nil
+		}
+	}
+	f, err := os.Open(o.topo)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	g, err := serial.DecodeGraph(f)
+	if err != nil {
+		return nil, false, err
+	}
+	router, err := oblivious.Build(o.router, g, &oblivious.BuildOptions{
+		Dim: o.dim, Trees: o.trees, K: o.k, Seed: o.seed,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	cfg.Graph = g
+	cfg.Router = router
+	e, err := service.New(cfg)
+	return e, false, err
+}
+
+// serve runs the HTTP server on l until ctx is canceled, then drains:
+// in-flight solves complete, a final snapshot is written when configured.
+func serve(ctx context.Context, l net.Listener, e *service.Engine, snapshotPath string) error {
+	srv := &http.Server{Handler: service.NewServer(e, snapshotPath)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		e.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+	}
+	e.Close()
+	if snapshotPath != "" {
+		if _, err := e.SnapshotToFile(snapshotPath); err != nil {
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	e, restored, err := buildEngine(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routed:", err)
+		os.Exit(1)
+	}
+	st := e.System().Stats()
+	if restored {
+		fmt.Printf("routed: restored %s: %d pairs, %d paths (hash %016x) — resampling skipped\n",
+			o.snapshot, st.Pairs, st.TotalPaths, e.Hash())
+	} else {
+		fmt.Printf("routed: sampled %d pairs, %d paths via %s R=%d (hash %016x)\n",
+			st.Pairs, st.TotalPaths, o.router, o.r, e.Hash())
+	}
+	l, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("routed: serving on http://%s\n", l.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve(ctx, l, e, o.snapshot); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "routed:", err)
+		os.Exit(1)
+	}
+}

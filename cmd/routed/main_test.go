@@ -1,0 +1,252 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sparseroute/internal/graph/gen"
+	"sparseroute/internal/serial"
+)
+
+// startDaemon builds the engine from o, serves it on a random port, and
+// returns the base URL plus a stop function that performs the daemon's
+// graceful shutdown (drain + final snapshot when configured).
+func startDaemon(t *testing.T, o *options) (string, func()) {
+	t.Helper()
+	e, _, err := buildEngine(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, l, e, o.snapshot) }()
+	url := "http://" + l.Addr().String()
+	stop := func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("serve: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+	return url, stop
+}
+
+func decodeBody(t *testing.T, resp *http.Response) map[string]any {
+	t.Helper()
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("bad JSON %q: %v", raw, err)
+	}
+	return out
+}
+
+func pathSystemHashFromVars(t *testing.T, url string) (string, float64) {
+	t.Helper()
+	resp, err := http.Get(url + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := decodeBody(t, resp)
+	sys := vars["path_system"].(map[string]any)
+	return sys["hash"].(string), vars["epochs_solved"].(float64)
+}
+
+// TestDaemonEndToEnd is the acceptance test: serve → POST a demand epoch →
+// adapted routing visible via GET /v1/paths → /debug/vars shows the epoch
+// solved → kill → restart from snapshot → identical path-system hash with
+// no resampling.
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	topo := filepath.Join(dir, "topo.json")
+	snap := filepath.Join(dir, "system.snapshot")
+
+	f, err := os.Create(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.EncodeGraph(f, gen.Hypercube(3)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	o, err := parseFlags([]string{
+		"-topo", topo, "-router", "valiant", "-s", "3", "-seed", "11",
+		"-workers", "2", "-snapshot", snap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	url, stop := startDaemon(t, o)
+
+	// Push one epoch and wait for the solve.
+	resp, err := http.Post(url+"/v1/demand?wait=1", "application/json",
+		strings.NewReader(`{"entries":[{"u":0,"v":7,"amount":2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("demand status %d", resp.StatusCode)
+	}
+	ep := decodeBody(t, resp)
+	if ep["solved"] != true {
+		t.Fatalf("epoch not solved: %v", ep)
+	}
+
+	// The adapted routing is visible through the path lookup: the rates over
+	// (0,7)'s candidates sum to the pushed amount.
+	resp, err = http.Get(url + "/v1/paths?src=0&dst=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := decodeBody(t, resp)
+	if paths["epoch"].(float64) < 1 {
+		t.Fatalf("paths not served from a solved epoch: %v", paths)
+	}
+	var total float64
+	for _, p := range paths["paths"].([]any) {
+		total += p.(map[string]any)["rate"].(float64)
+	}
+	if total < 1.99 || total > 2.01 {
+		t.Fatalf("rates sum to %v, want 2", total)
+	}
+
+	// Metrics show at least one epoch solved; remember the system hash.
+	hash1, solved := pathSystemHashFromVars(t, url)
+	if solved < 1 {
+		t.Fatalf("epochs_solved=%v, want >= 1", solved)
+	}
+
+	// Snapshot explicitly, then kill the daemon (graceful shutdown also
+	// rewrites the snapshot — both paths must agree).
+	resp, err = http.Post(url+"/v1/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapResp := decodeBody(t, resp)
+	if snapResp["hash"] != hash1 {
+		t.Fatalf("snapshot hash %v != metrics hash %v", snapResp["hash"], hash1)
+	}
+	stop()
+
+	// Restart: the topology file is deliberately removed to prove restore
+	// does not resample — the snapshot alone must carry the system.
+	if err := os.Remove(topo); err != nil {
+		t.Fatal(err)
+	}
+	url2, stop2 := startDaemon(t, o)
+	defer stop2()
+
+	hash2, _ := pathSystemHashFromVars(t, url2)
+	if hash2 != hash1 {
+		t.Fatalf("restored hash %s != original %s", hash2, hash1)
+	}
+
+	// The restored daemon keeps serving epochs.
+	resp, err = http.Post(url2+"/v1/demand?wait=1", "application/json",
+		strings.NewReader(`{"entries":[{"u":1,"v":6,"amount":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep = decodeBody(t, resp)
+	if ep["solved"] != true {
+		t.Fatalf("restored daemon failed to solve: %v", ep)
+	}
+}
+
+// TestDaemonShutdownWritesSnapshot checks the graceful-shutdown path writes
+// a restorable snapshot even when the operator never POSTed one.
+func TestDaemonShutdownWritesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	topo := filepath.Join(dir, "topo.json")
+	snap := filepath.Join(dir, "auto.snapshot")
+
+	f, err := os.Create(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.EncodeGraph(f, gen.Hypercube(3)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	o, err := parseFlags([]string{"-topo", topo, "-router", "spf", "-s", "2", "-snapshot", snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, stop := startDaemon(t, o)
+	if _, err := http.Get(url + "/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	sf, err := os.Open(snap)
+	if err != nil {
+		t.Fatalf("shutdown did not write snapshot: %v", err)
+	}
+	defer sf.Close()
+	s, err := serial.DecodeSnapshot(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Router != "spf" || s.R != 2 || s.System.TotalPaths() == 0 {
+		t.Fatalf("snapshot metadata wrong: %+v", s)
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.router != "raecke" || o.r != 4 || o.workers != 2 {
+		t.Fatalf("defaults drifted: %+v", o)
+	}
+	if _, err := parseFlags([]string{"-deadline", "250ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseFlags([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestBuildEngineUnknownRouter(t *testing.T) {
+	dir := t.TempDir()
+	topo := filepath.Join(dir, "topo.json")
+	f, _ := os.Create(topo)
+	serial.EncodeGraph(f, gen.Hypercube(2))
+	f.Close()
+	o, err := parseFlags([]string{"-topo", topo, "-router", "bogus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = buildEngine(o)
+	if err == nil {
+		t.Fatal("unknown router accepted")
+	}
+	if !strings.Contains(fmt.Sprint(err), "bogus") {
+		t.Fatalf("error should name the router: %v", err)
+	}
+}

@@ -11,6 +11,9 @@
 //	sparseroute sample  -topo topo.json -router raecke -s 4 -demand d.json -out sys.json
 //	sparseroute adapt   -topo topo.json -system sys.json -demand d.json -out routing.json
 //	sparseroute eval    -topo topo.json -system sys.json -demand d.json
+//
+// For the long-running form of the same loop — paths installed once, rates
+// re-optimized per demand epoch over HTTP — see the cmd/routed daemon.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"strings"
 
 	"sparseroute/internal/core"
 	"sparseroute/internal/demand"
@@ -57,6 +61,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: sparseroute {topo|demand|sample|adapt|eval|inspect} [flags]  (-h per subcommand)")
+	fmt.Fprintln(os.Stderr, "serve: to run the online epoch loop as a daemon (HTTP demands, snapshots, metrics), use cmd/routed")
 	os.Exit(2)
 }
 
@@ -199,30 +204,11 @@ func cmdDemand(args []string) error {
 	return nil
 }
 
-func buildRouter(name string, g *graph.Graph, dim, trees, k int, seed uint64) (oblivious.Router, error) {
-	switch name {
-	case "raecke":
-		return oblivious.NewRaecke(g, &oblivious.RaeckeOptions{NumTrees: trees}, rand.New(rand.NewPCG(seed, 0xa)))
-	case "valiant":
-		return oblivious.NewValiant(g, dim)
-	case "electrical":
-		return oblivious.NewElectrical(g)
-	case "ksp":
-		return oblivious.NewKSP(g, k, nil), nil
-	case "spf":
-		return oblivious.NewSPF(g), nil
-	case "detour":
-		return oblivious.NewRandomDetour(g)
-	default:
-		return nil, fmt.Errorf("unknown router %q", name)
-	}
-}
-
 func cmdSample(args []string) error {
 	fs := flag.NewFlagSet("sample", flag.ExitOnError)
 	topo := fs.String("topo", "topo.json", "topology file")
 	dmd := fs.String("demand", "", "demand file (sample its pairs; empty = all pairs)")
-	routerName := fs.String("router", "raecke", "raecke|valiant|electrical|ksp|spf|detour")
+	routerName := fs.String("router", "raecke", strings.Join(oblivious.RouterNames(), "|"))
 	s := fs.Int("s", 4, "paths per pair (R)")
 	withCuts := fs.Bool("lambda", false, "sample R + lambda(u,v) paths (non-unit demands)")
 	maxLambda := fs.Int("maxlambda", 0, "cap on lambda (0 = uncapped)")
@@ -247,7 +233,9 @@ func cmdSample(args []string) error {
 		}
 		pairs = d.Support()
 	}
-	router, err := buildRouter(*routerName, g, *dim, *trees, *k, *seed)
+	router, err := oblivious.Build(*routerName, g, &oblivious.BuildOptions{
+		Dim: *dim, Trees: *trees, K: *k, Seed: *seed,
+	})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,82 @@
+package oblivious
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"sparseroute/internal/graph"
+)
+
+// BuildOptions parameterizes Build. The zero value picks sensible defaults
+// for every router kind.
+type BuildOptions struct {
+	// Dim is the hypercube dimension (valiant). 0 infers it from the vertex
+	// count when that is a power of two.
+	Dim int
+	// Trees is the Räcke FRT-tree count (raecke). 0 means 12.
+	Trees int
+	// K is the path count for ksp. 0 means 4.
+	K int
+	// Seed seeds the randomized constructions (raecke).
+	Seed uint64
+}
+
+// RouterNames lists the names Build accepts, sorted — the single source of
+// truth for CLI flag help.
+func RouterNames() []string {
+	names := []string{"raecke", "valiant", "electrical", "ksp", "spf", "detour", "hop"}
+	sort.Strings(names)
+	return names
+}
+
+// Build constructs the named oblivious routing over g. It is the shared
+// router factory behind cmd/sparseroute and cmd/routed, so the two CLIs
+// cannot drift apart on names or defaults.
+func Build(name string, g *graph.Graph, opt *BuildOptions) (Router, error) {
+	var o BuildOptions
+	if opt != nil {
+		o = *opt
+	}
+	if o.Trees <= 0 {
+		o.Trees = 12
+	}
+	if o.K <= 0 {
+		o.K = 4
+	}
+	if o.Dim <= 0 {
+		o.Dim = inferDim(g.NumVertices())
+	}
+	switch name {
+	case "raecke":
+		return NewRaecke(g, &RaeckeOptions{NumTrees: o.Trees}, rand.New(rand.NewPCG(o.Seed, 0xa)))
+	case "valiant":
+		return NewValiant(g, o.Dim)
+	case "electrical":
+		return NewElectrical(g)
+	case "ksp":
+		return NewKSP(g, o.K, nil), nil
+	case "spf":
+		return NewSPF(g), nil
+	case "detour":
+		return NewRandomDetour(g)
+	case "hop":
+		return NewHopConstrained(g, g.NumVertices())
+	default:
+		return nil, fmt.Errorf("oblivious: unknown router %q (have %v)", name, RouterNames())
+	}
+}
+
+// inferDim returns log2(n) when n is a power of two, else 0 (letting the
+// valiant constructor report the mismatch).
+func inferDim(n int) int {
+	if n <= 0 || n&(n-1) != 0 {
+		return 0
+	}
+	d := 0
+	for n > 1 {
+		n >>= 1
+		d++
+	}
+	return d
+}

@@ -48,6 +48,70 @@ func ForEachWorkers(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
+// Pool is a long-lived bounded worker pool with a bounded submission queue:
+// the serving-side counterpart to ForEach. A fixed number of goroutines
+// drains one work channel; submission is non-blocking so callers can shed
+// load instead of queueing unboundedly. Close drains everything already
+// accepted before returning, which is what a service's graceful shutdown
+// needs.
+type Pool struct {
+	work   chan func()
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts a pool of `workers` goroutines (minimum 1) with a
+// submission queue of `queue` pending tasks (minimum 0: hand-off only).
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{work: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.work {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit offers fn to the pool without blocking. It returns false when
+// the queue is full (back-pressure: the caller should shed the task) or the
+// pool is closed.
+func (p *Pool) TrySubmit(fn func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.work <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops accepting work, waits for every accepted task to finish, and
+// returns. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.work)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
 // MapReduce runs mapFn over [0, n) in parallel and folds the results with
 // reduceFn sequentially in index order (deterministic reduction).
 func MapReduce[T any, R any](n int, mapFn func(i int) T, init R, reduceFn func(acc R, v T) R) R {

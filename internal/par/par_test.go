@@ -1,6 +1,7 @@
 package par
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -59,5 +60,75 @@ func TestMapReduceSum(t *testing.T) {
 	sum := MapReduce(100, func(i int) int { return i }, 0, func(a, v int) int { return a + v })
 	if sum != 4950 {
 		t.Fatalf("sum=%d", sum)
+	}
+}
+
+func TestPoolRunsAllAcceptedTasks(t *testing.T) {
+	p := NewPool(4, 16)
+	var count int64
+	for i := 0; i < 100; i++ {
+		for !p.TrySubmit(func() { atomic.AddInt64(&count, 1) }) {
+			// Queue full: back-pressure. Spin until accepted.
+		}
+	}
+	p.Close()
+	if count != 100 {
+		t.Fatalf("count=%d, want 100", count)
+	}
+}
+
+func TestPoolCloseDrainsInFlight(t *testing.T) {
+	p := NewPool(2, 8)
+	var done int64
+	release := make(chan struct{})
+	var accepted int
+	for i := 0; i < 6; i++ {
+		if p.TrySubmit(func() {
+			<-release
+			atomic.AddInt64(&done, 1)
+		}) {
+			accepted++
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Close() // Must block until every accepted task ran.
+	}()
+	close(release)
+	wg.Wait()
+	if int(done) != accepted {
+		t.Fatalf("done=%d accepted=%d", done, accepted)
+	}
+}
+
+func TestPoolRejectsAfterClose(t *testing.T) {
+	p := NewPool(1, 1)
+	p.Close()
+	if p.TrySubmit(func() {}) {
+		t.Fatal("submit after close should fail")
+	}
+	p.Close() // Idempotent.
+}
+
+func TestPoolRejectsWhenQueueFull(t *testing.T) {
+	p := NewPool(1, 0)
+	block := make(chan struct{})
+	// Occupy the single worker.
+	for !p.TrySubmit(func() { <-block }) {
+	}
+	// Worker busy, zero queue: next submit must be shed.
+	rejected := false
+	for i := 0; i < 100; i++ {
+		if !p.TrySubmit(func() {}) {
+			rejected = true
+			break
+		}
+	}
+	close(block)
+	p.Close()
+	if !rejected {
+		t.Fatal("expected back-pressure rejection with a full queue")
 	}
 }

@@ -30,24 +30,18 @@ type EdgeJSON struct {
 	Capacity float64 `json:"capacity"`
 }
 
-// EncodeGraph writes g as JSON.
-func EncodeGraph(w io.Writer, g *graph.Graph) error {
+// GraphToJSON converts g to its wire form.
+func GraphToJSON(g *graph.Graph) GraphJSON {
 	out := GraphJSON{Vertices: g.NumVertices()}
 	for _, e := range g.Edges() {
 		out.Edges = append(out.Edges, EdgeJSON{U: e.U, V: e.V, Capacity: e.Capacity})
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(out)
+	return out
 }
 
-// DecodeGraph reads a graph from JSON. Edge IDs are assigned in file order,
-// so paths serialized against this graph stay valid.
-func DecodeGraph(r io.Reader) (*graph.Graph, error) {
-	var in GraphJSON
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("serial: decoding graph: %w", err)
-	}
+// GraphFromJSON validates the wire form and rebuilds the graph. Edge IDs are
+// assigned in wire order, so paths serialized against this graph stay valid.
+func GraphFromJSON(in GraphJSON) (*graph.Graph, error) {
 	if in.Vertices < 0 {
 		return nil, fmt.Errorf("serial: negative vertex count")
 	}
@@ -59,6 +53,22 @@ func DecodeGraph(r io.Reader) (*graph.Graph, error) {
 		g.AddEdge(e.U, e.V, e.Capacity)
 	}
 	return g, nil
+}
+
+// EncodeGraph writes g as JSON.
+func EncodeGraph(w io.Writer, g *graph.Graph) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(GraphToJSON(g))
+}
+
+// DecodeGraph reads a graph from JSON.
+func DecodeGraph(r io.Reader) (*graph.Graph, error) {
+	var in GraphJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("serial: decoding graph: %w", err)
+	}
+	return GraphFromJSON(in)
 }
 
 // DemandJSON is the demand wire format.
@@ -113,8 +123,9 @@ type PairPathsJSON struct {
 	Paths [][]int `json:"paths"`
 }
 
-// EncodePathSystem writes ps as JSON.
-func EncodePathSystem(w io.Writer, ps *core.PathSystem) error {
+// PathSystemToJSON converts ps to its wire form, each path oriented from the
+// pair's smaller endpoint for a canonical encoding.
+func PathSystemToJSON(ps *core.PathSystem) PathSystemJSON {
 	var out PathSystemJSON
 	for _, pr := range ps.Pairs() {
 		pp := PairPathsJSON{U: pr.U, V: pr.V}
@@ -131,18 +142,12 @@ func EncodePathSystem(w io.Writer, ps *core.PathSystem) error {
 		}
 		out.Pairs = append(out.Pairs, pp)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(out)
+	return out
 }
 
-// DecodePathSystem reads a path system over g from JSON. Every path is
-// validated against g.
-func DecodePathSystem(r io.Reader, g *graph.Graph) (*core.PathSystem, error) {
-	var in PathSystemJSON
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("serial: decoding path system: %w", err)
-	}
+// PathSystemFromJSON validates the wire form against g and rebuilds the
+// system.
+func PathSystemFromJSON(in PathSystemJSON, g *graph.Graph) (*core.PathSystem, error) {
 	ps := core.NewPathSystem(g)
 	for _, pp := range in.Pairs {
 		for i, ids := range pp.Paths {
@@ -153,6 +158,23 @@ func DecodePathSystem(r io.Reader, g *graph.Graph) (*core.PathSystem, error) {
 		}
 	}
 	return ps, nil
+}
+
+// EncodePathSystem writes ps as JSON.
+func EncodePathSystem(w io.Writer, ps *core.PathSystem) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(PathSystemToJSON(ps))
+}
+
+// DecodePathSystem reads a path system over g from JSON. Every path is
+// validated against g.
+func DecodePathSystem(r io.Reader, g *graph.Graph) (*core.PathSystem, error) {
+	var in PathSystemJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("serial: decoding path system: %w", err)
+	}
+	return PathSystemFromJSON(in, g)
 }
 
 // RoutingJSON is the routing wire format.
@@ -173,8 +195,9 @@ type WeightedPathJSON struct {
 	Weight float64 `json:"weight"`
 }
 
-// EncodeRouting writes a routing as JSON.
-func EncodeRouting(w io.Writer, g *graph.Graph, r flow.Routing) error {
+// RoutingToJSON converts a routing to its wire form with deterministic pair
+// order.
+func RoutingToJSON(g *graph.Graph, r flow.Routing) RoutingJSON {
 	var out RoutingJSON
 	// Deterministic order via a temporary demand built from the routing.
 	d := demand.New()
@@ -195,9 +218,14 @@ func EncodeRouting(w io.Writer, g *graph.Graph, r flow.Routing) error {
 		}
 		out.Pairs = append(out.Pairs, pf)
 	}
+	return out
+}
+
+// EncodeRouting writes a routing as JSON.
+func EncodeRouting(w io.Writer, g *graph.Graph, r flow.Routing) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(out)
+	return enc.Encode(RoutingToJSON(g, r))
 }
 
 // DecodeRouting reads a routing over g from JSON, validating every path.

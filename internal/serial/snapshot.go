@@ -1,0 +1,118 @@
+package serial
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"sparseroute/internal/core"
+	"sparseroute/internal/graph"
+)
+
+// SnapshotVersion is the current snapshot wire-format version. Decoders
+// reject snapshots written by a newer format.
+const SnapshotVersion = 1
+
+// Snapshot bundles everything the online routing service needs to restart
+// without redoing the offline phase: the topology, the sampled path system,
+// and the sampling metadata (router name, R, seed) that produced it. A
+// restored engine serves the exact same candidate paths as the one that
+// wrote the snapshot — verifiable via PathSystemHash.
+type Snapshot struct {
+	// Router is the name of the oblivious routing the system was sampled
+	// from (metadata only; the router is not rebuilt on restore).
+	Router string
+	// R is the per-pair sample count the system was built with.
+	R int
+	// Seed is the sampling seed.
+	Seed uint64
+	// Graph is the topology the system routes on.
+	Graph *graph.Graph
+	// System is the sampled path system.
+	System *core.PathSystem
+}
+
+// SnapshotJSON is the snapshot wire format.
+type SnapshotJSON struct {
+	Version int            `json:"version"`
+	Router  string         `json:"router"`
+	R       int            `json:"r"`
+	Seed    uint64         `json:"seed"`
+	Graph   GraphJSON      `json:"graph"`
+	System  PathSystemJSON `json:"system"`
+}
+
+// EncodeSnapshot writes s as JSON.
+func EncodeSnapshot(w io.Writer, s *Snapshot) error {
+	if s.Graph == nil || s.System == nil {
+		return fmt.Errorf("serial: snapshot needs a graph and a path system")
+	}
+	out := SnapshotJSON{
+		Version: SnapshotVersion,
+		Router:  s.Router,
+		R:       s.R,
+		Seed:    s.Seed,
+		Graph:   GraphToJSON(s.Graph),
+		System:  PathSystemToJSON(s.System),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// DecodeSnapshot reads a snapshot, rebuilding the graph and validating every
+// stored path against it.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	var in SnapshotJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("serial: decoding snapshot: %w", err)
+	}
+	if in.Version <= 0 || in.Version > SnapshotVersion {
+		return nil, fmt.Errorf("serial: unsupported snapshot version %d (have %d)", in.Version, SnapshotVersion)
+	}
+	g, err := GraphFromJSON(in.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("serial: snapshot graph: %w", err)
+	}
+	ps, err := PathSystemFromJSON(in.System, g)
+	if err != nil {
+		return nil, fmt.Errorf("serial: snapshot system: %w", err)
+	}
+	return &Snapshot{Router: in.Router, R: in.R, Seed: in.Seed, Graph: g, System: ps}, nil
+}
+
+// PathSystemHash returns a deterministic FNV-1a digest of the system's
+// canonical encoding (graph shape plus every pair's oriented edge-ID
+// sequences, in sorted pair order). Two engines serving byte-identical
+// candidate sets — e.g. one freshly sampled and one restored from its
+// snapshot — report the same hash.
+func PathSystemHash(ps *core.PathSystem) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(x int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	g := ps.Graph()
+	writeInt(g.NumVertices())
+	writeInt(g.NumEdges())
+	for _, pr := range ps.Pairs() {
+		writeInt(pr.U)
+		writeInt(pr.V)
+		paths := ps.Paths(pr.U, pr.V)
+		writeInt(len(paths))
+		for _, p := range paths {
+			ids := p.EdgeIDs
+			if p.Src != pr.U {
+				ids = p.Reverse().EdgeIDs
+			}
+			writeInt(len(ids))
+			for _, id := range ids {
+				writeInt(id)
+			}
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,119 @@
+package serial
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"sparseroute/internal/core"
+	"sparseroute/internal/graph/gen"
+	"sparseroute/internal/oblivious"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := gen.Hypercube(4)
+	router, err := oblivious.NewValiant(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := core.RSample(router, core.AllPairs(g.NumVertices()), 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &Snapshot{Router: "valiant", R: 3, Seed: 7, Graph: g, System: ps}
+
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Router != "valiant" || got.R != 3 || got.Seed != 7 {
+		t.Fatalf("metadata mismatch: %+v", got)
+	}
+	if got.Graph.NumVertices() != g.NumVertices() || got.Graph.NumEdges() != g.NumEdges() {
+		t.Fatalf("graph shape mismatch: %v vs %v", got.Graph, g)
+	}
+	if h1, h2 := PathSystemHash(ps), PathSystemHash(got.System); h1 != h2 {
+		t.Fatalf("hash changed across round trip: %016x vs %016x", h1, h2)
+	}
+	if got.System.TotalPaths() != ps.TotalPaths() || got.System.Sparsity() != ps.Sparsity() {
+		t.Fatalf("system shape mismatch")
+	}
+}
+
+// TestSnapshotRoundTripFuzz drives many randomized systems (random
+// topologies, random sample counts, random seeds) through the codec and
+// checks the canonical hash is a round-trip invariant.
+func TestSnapshotRoundTripFuzz(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xfa22, 1))
+	for trial := 0; trial < 25; trial++ {
+		var g = gen.SyntheticWAN(8+rng.IntN(10), 6+rng.IntN(10), rng)
+		router := oblivious.NewKSP(g, 1+rng.IntN(3), nil)
+		pairs := core.AllPairs(g.NumVertices())
+		// Keep a random subset of pairs to vary coverage.
+		var kept = pairs[:1+rng.IntN(len(pairs))]
+		seed := rng.Uint64()
+		r := 1 + rng.IntN(4)
+		ps, err := core.RSample(router, kept, r, seed)
+		if err != nil {
+			t.Fatalf("trial %d: sample: %v", trial, err)
+		}
+		snap := &Snapshot{Router: "ksp", R: r, Seed: seed, Graph: g, System: ps}
+		var buf bytes.Buffer
+		if err := EncodeSnapshot(&buf, snap); err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		got, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if PathSystemHash(got.System) != PathSystemHash(ps) {
+			t.Fatalf("trial %d: hash not invariant", trial)
+		}
+		// Encoding the decoded snapshot must be byte-identical (canonical
+		// form is a fixpoint).
+		var buf2 bytes.Buffer
+		if err := EncodeSnapshot(&buf2, got); err != nil {
+			t.Fatalf("trial %d: re-encode: %v", trial, err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("trial %d: re-encode not canonical", trial)
+		}
+	}
+}
+
+func TestDecodeSnapshotRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"version":0}`,
+		`{"version":99,"graph":{"vertices":2,"edges":[]},"system":{"pairs":[]}}`,
+		`{"version":1,"graph":{"vertices":-1,"edges":[]},"system":{"pairs":[]}}`,
+		// Path referencing an unknown edge.
+		`{"version":1,"graph":{"vertices":2,"edges":[{"u":0,"v":1,"capacity":1}]},"system":{"pairs":[{"u":0,"v":1,"paths":[[5]]}]}}`,
+	}
+	for i, c := range cases {
+		if _, err := DecodeSnapshot(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should be rejected", i)
+		}
+	}
+}
+
+func TestPathSystemHashDistinguishesSystems(t *testing.T) {
+	g := gen.Hypercube(3)
+	router := oblivious.NewSPF(g)
+	a, err := core.RSample(router, core.AllPairs(g.NumVertices()), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.RSample(router, core.AllPairs(g.NumVertices())[:4], 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PathSystemHash(a) == PathSystemHash(b) {
+		t.Fatal("different systems should hash differently")
+	}
+}

@@ -1,0 +1,293 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparseroute/internal/core"
+	"sparseroute/internal/demand"
+	"sparseroute/internal/flow"
+	"sparseroute/internal/par"
+	"sparseroute/internal/serial"
+)
+
+// State is one published epoch: an adapted routing and its provenance. It is
+// immutable once published; readers load it through an atomic pointer and
+// never take a lock.
+type State struct {
+	// Epoch is the submission sequence number (1-based).
+	Epoch uint64
+	// Demand is the matrix this routing adapts to.
+	Demand *demand.Demand
+	// Routing is the adapted min-congestion routing over the candidates.
+	Routing flow.Routing
+	// Congestion is Routing's maximum relative edge congestion.
+	Congestion float64
+	// SolvedAt is when the solve finished.
+	SolvedAt time.Time
+}
+
+// Outcome reports how one submitted epoch ended. Fallback epochs leave the
+// previously published routing serving.
+type Outcome struct {
+	Epoch      uint64
+	OK         bool
+	Fallback   bool // solve failed or missed its deadline
+	Err        string
+	Congestion float64
+	Latency    time.Duration
+}
+
+// Engine is the online routing engine. Construct with New, serve with
+// methods or the HTTP layer in this package, stop with Close.
+type Engine struct {
+	cfg     Config
+	system  *core.PathSystem
+	hash    uint64
+	metrics *Metrics
+	pool    *par.Pool
+
+	active atomic.Pointer[State]
+
+	mu        sync.Mutex
+	nextEpoch uint64
+	outcomes  map[uint64]*Outcome
+	order     []uint64 // outcome eviction, oldest first
+	waiters   map[uint64][]chan *Outcome
+	closed    bool
+
+	solveWG sync.WaitGroup
+}
+
+// New builds an engine: it samples the path system (offline phase) unless
+// cfg.System already carries one, then starts the bounded solver pool.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("service: config needs a graph")
+	}
+	system := cfg.System
+	if system == nil {
+		if cfg.Router == nil {
+			return nil, fmt.Errorf("service: config needs a router or a restored system")
+		}
+		pairs := cfg.Pairs
+		if pairs == nil {
+			pairs = core.AllPairs(cfg.Graph.NumVertices())
+		}
+		var err error
+		system, err = core.RSample(cfg.Router, pairs, cfg.R, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("service: sampling path system: %w", err)
+		}
+	} else if system.Graph() != cfg.Graph {
+		return nil, fmt.Errorf("service: restored system is over a different graph")
+	}
+	e := &Engine{
+		cfg:      cfg,
+		system:   system,
+		hash:     serial.PathSystemHash(system),
+		outcomes: make(map[uint64]*Outcome),
+		waiters:  make(map[uint64][]chan *Outcome),
+	}
+	e.metrics = newMetrics(e)
+	e.pool = par.NewPool(cfg.Workers, cfg.QueueDepth)
+	return e, nil
+}
+
+// Restore builds an engine from a snapshot stream: the offline phase is
+// skipped and the stored path system serves as-is. Sampling metadata from
+// the snapshot overrides the corresponding cfg fields.
+func Restore(r io.Reader, cfg Config) (*Engine, error) {
+	snap, err := serial.DecodeSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Graph = snap.Graph
+	cfg.System = snap.System
+	cfg.RouterName = snap.Router
+	cfg.R = snap.R
+	cfg.Seed = snap.Seed
+	return New(cfg)
+}
+
+// System returns the immutable path system the engine serves.
+func (e *Engine) System() *core.PathSystem { return e.system }
+
+// Hash returns the canonical path-system digest (see serial.PathSystemHash).
+func (e *Engine) Hash() uint64 { return e.hash }
+
+// Metrics returns the engine's metrics registry.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Active returns the currently published state, nil before the first solved
+// epoch. Lock-free.
+func (e *Engine) Active() *State { return e.active.Load() }
+
+// SubmitDemand validates d, assigns it the next epoch number, and enqueues
+// its solve. It returns ErrBusy when the queue is full (load shedding) and
+// ErrClosed after Close. The solve itself runs asynchronously; use Wait to
+// observe its outcome.
+func (e *Engine) SubmitDemand(d *demand.Demand) (uint64, error) {
+	if len(d.Support()) == 0 {
+		return 0, fmt.Errorf("service: empty demand")
+	}
+	n := e.cfg.Graph.NumVertices()
+	for _, p := range d.Support() {
+		if p.U < 0 || p.V >= n {
+			return 0, fmt.Errorf("service: demand pair %v outside graph with %d vertices", p, n)
+		}
+	}
+	if !e.system.Covers(d) {
+		return 0, fmt.Errorf("service: demand has pairs with no candidate paths")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, ErrClosed
+	}
+	e.nextEpoch++
+	epoch := e.nextEpoch
+	if !e.pool.TrySubmit(func() { e.solve(epoch, d) }) {
+		e.nextEpoch--
+		e.metrics.shed.Add(1)
+		return 0, ErrBusy
+	}
+	e.metrics.received.Add(1)
+	return epoch, nil
+}
+
+// Wait blocks until the epoch's outcome is known or ctx expires.
+func (e *Engine) Wait(ctx context.Context, epoch uint64) (*Outcome, error) {
+	e.mu.Lock()
+	if out, ok := e.outcomes[epoch]; ok {
+		e.mu.Unlock()
+		return out, nil
+	}
+	ch := make(chan *Outcome, 1)
+	e.waiters[epoch] = append(e.waiters[epoch], ch)
+	e.mu.Unlock()
+	select {
+	case out := <-ch:
+		return out, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// solve runs one epoch on a pool worker: adapt under the deadline, publish
+// on success, fall back to the last good routing otherwise.
+func (e *Engine) solve(epoch uint64, d *demand.Demand) {
+	start := time.Now()
+	type result struct {
+		routing flow.Routing
+		err     error
+	}
+	done := make(chan result, 1)
+	e.solveWG.Add(1)
+	go func() {
+		defer e.solveWG.Done()
+		r, err := e.system.Adapt(d, e.cfg.Adapt)
+		done <- result{routing: r, err: err}
+	}()
+
+	var timeout <-chan time.Time
+	if e.cfg.SolveDeadline > 0 {
+		t := time.NewTimer(e.cfg.SolveDeadline)
+		defer t.Stop()
+		timeout = t.C
+	}
+
+	out := &Outcome{Epoch: epoch}
+	select {
+	case res := <-done:
+		out.Latency = time.Since(start)
+		if res.err != nil {
+			out.Fallback = true
+			out.Err = res.err.Error()
+			e.metrics.failed.Add(1)
+			e.metrics.fallbacks.Add(1)
+		} else {
+			cong := res.routing.MaxCongestion(e.cfg.Graph)
+			e.publish(&State{
+				Epoch:      epoch,
+				Demand:     d,
+				Routing:    res.routing,
+				Congestion: cong,
+				SolvedAt:   time.Now(),
+			})
+			out.OK = true
+			out.Congestion = cong
+			e.metrics.observeSolve(out.Latency, cong)
+		}
+	case <-timeout:
+		// The adaptation goroutine finishes on its own (buffered channel);
+		// its late result is simply discarded. The last good routing keeps
+		// serving.
+		out.Latency = time.Since(start)
+		out.Fallback = true
+		out.Err = fmt.Sprintf("solve exceeded deadline %v", e.cfg.SolveDeadline)
+		e.metrics.deadlineMissed.Add(1)
+		e.metrics.fallbacks.Add(1)
+	}
+	e.finish(out)
+}
+
+// publish installs s as the active state unless a newer epoch already won
+// the race (workers > 1 can complete out of order).
+func (e *Engine) publish(s *State) {
+	for {
+		cur := e.active.Load()
+		if cur != nil && cur.Epoch >= s.Epoch {
+			return
+		}
+		if e.active.CompareAndSwap(cur, s) {
+			return
+		}
+	}
+}
+
+// finish records the outcome (bounded history) and wakes its waiters.
+func (e *Engine) finish(out *Outcome) {
+	const keep = 128
+	e.mu.Lock()
+	e.outcomes[out.Epoch] = out
+	e.order = append(e.order, out.Epoch)
+	for len(e.order) > keep {
+		delete(e.outcomes, e.order[0])
+		e.order = e.order[1:]
+	}
+	chs := e.waiters[out.Epoch]
+	delete(e.waiters, out.Epoch)
+	e.mu.Unlock()
+	for _, ch := range chs {
+		ch <- out
+	}
+}
+
+// WriteSnapshot encodes the engine's topology, path system and sampling
+// metadata, so a future engine can Restore without resampling.
+func (e *Engine) WriteSnapshot(w io.Writer) error {
+	return serial.EncodeSnapshot(w, &serial.Snapshot{
+		Router: e.cfg.RouterName,
+		R:      e.cfg.R,
+		Seed:   e.cfg.Seed,
+		Graph:  e.cfg.Graph,
+		System: e.system,
+	})
+}
+
+// Close stops accepting demands, drains every accepted epoch (solves run to
+// completion, including adaptation goroutines whose deadline already fired),
+// and returns.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.pool.Close()
+	e.solveWG.Wait()
+}

@@ -1,0 +1,217 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"sparseroute/internal/core"
+	"sparseroute/internal/demand"
+	"sparseroute/internal/graph/gen"
+	"sparseroute/internal/oblivious"
+)
+
+func testEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	if cfg.Graph == nil {
+		cfg.Graph = gen.Hypercube(3)
+	}
+	if cfg.Router == nil && cfg.System == nil {
+		r, err := oblivious.Build("valiant", cfg.Graph, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Router = r
+		cfg.RouterName = "valiant"
+	}
+	if cfg.R == 0 {
+		cfg.R = 3
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestEngineSolvesEpochAndPublishes(t *testing.T) {
+	e := testEngine(t, Config{Seed: 1})
+	d := demand.New()
+	d.Set(0, 7, 2)
+	d.Set(1, 6, 1)
+	epoch, err := e.SubmitDemand(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("epoch=%d, want 1", epoch)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	out, err := e.Wait(ctx, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK || out.Fallback {
+		t.Fatalf("outcome %+v", out)
+	}
+	st := e.Active()
+	if st == nil || st.Epoch != 1 {
+		t.Fatalf("active state %+v", st)
+	}
+	if st.Congestion <= 0 {
+		t.Fatalf("congestion %v", st.Congestion)
+	}
+	// The routing actually carries the demand.
+	var total float64
+	for _, wp := range st.Routing[demand.MakePair(0, 7)] {
+		total += wp.Weight
+	}
+	if total < 1.99 || total > 2.01 {
+		t.Fatalf("pair (0,7) carries %v, want 2", total)
+	}
+}
+
+func TestEngineRejectsBadDemands(t *testing.T) {
+	e := testEngine(t, Config{Seed: 1})
+	if _, err := e.SubmitDemand(demand.New()); err == nil {
+		t.Fatal("empty demand accepted")
+	}
+	d := demand.New()
+	d.Set(0, 99, 1)
+	if _, err := e.SubmitDemand(d); err == nil {
+		t.Fatal("out-of-range demand accepted")
+	}
+}
+
+func TestEngineEpochsAreMonotonic(t *testing.T) {
+	e := testEngine(t, Config{Seed: 1, Workers: 4, QueueDepth: 64})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var last uint64
+	for i := 0; i < 8; i++ {
+		d := demand.New()
+		d.Set(i%4, 4+i%4, 1+float64(i))
+		epoch, err := e.SubmitDemand(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch <= last {
+			t.Fatalf("epoch %d not monotonic after %d", epoch, last)
+		}
+		last = epoch
+		if _, err := e.Wait(ctx, epoch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Active(); st == nil || st.Epoch != last {
+		t.Fatalf("active epoch %+v, want %d", st, last)
+	}
+	if got := e.Metrics().solved.Value(); got != 8 {
+		t.Fatalf("solved=%d, want 8", got)
+	}
+}
+
+func TestEngineDeadlineFallback(t *testing.T) {
+	// A deadline far below any real solve time forces the fallback path.
+	e := testEngine(t, Config{Seed: 1, SolveDeadline: time.Nanosecond})
+	d := demand.New()
+	d.Set(0, 7, 1)
+	epoch, err := e.SubmitDemand(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	out, err := e.Wait(ctx, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Fallback || out.OK {
+		t.Fatalf("outcome %+v, want deadline fallback", out)
+	}
+	if e.Metrics().fallbacks.Value() != 1 || e.Metrics().deadlineMissed.Value() != 1 {
+		t.Fatalf("fallback counters not incremented")
+	}
+}
+
+func TestEngineShedsLoadWhenSaturated(t *testing.T) {
+	// One worker, zero queue, and a deadline that makes the worker linger:
+	// the second concurrent submit must shed with ErrBusy eventually.
+	e := testEngine(t, Config{Seed: 1, Workers: 1, QueueDepth: 1})
+	shed := false
+	for i := 0; i < 200 && !shed; i++ {
+		d := demand.New()
+		d.Set(0, 7, 1)
+		if _, err := e.SubmitDemand(d); err == ErrBusy {
+			shed = true
+		}
+	}
+	if !shed {
+		t.Skip("queue never filled on this machine; load shedding untested")
+	}
+	if e.Metrics().shed.Value() == 0 {
+		t.Fatal("shed counter not incremented")
+	}
+}
+
+func TestEngineCloseRejectsNewDemands(t *testing.T) {
+	e := testEngine(t, Config{Seed: 1})
+	e.Close()
+	d := demand.New()
+	d.Set(0, 7, 1)
+	if _, err := e.SubmitDemand(d); err != ErrClosed {
+		t.Fatalf("err=%v, want ErrClosed", err)
+	}
+}
+
+func TestEngineSnapshotRestoreSameHash(t *testing.T) {
+	e := testEngine(t, Config{Seed: 42})
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(bytes.NewReader(buf.Bytes()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if restored.Hash() != e.Hash() {
+		t.Fatalf("restored hash %016x != original %016x", restored.Hash(), e.Hash())
+	}
+	// The restored engine serves without any router configured.
+	d := demand.New()
+	d.Set(0, 7, 1)
+	epoch, err := restored.SubmitDemand(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	out, err := restored.Wait(ctx, epoch)
+	if err != nil || !out.OK {
+		t.Fatalf("restored engine solve: %v %+v", err, out)
+	}
+}
+
+func TestEngineRestoredSystemCoversSamePairs(t *testing.T) {
+	g := gen.Hypercube(3)
+	r, err := oblivious.Build("spf", g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := core.RSample(r, core.AllPairs(g.NumVertices()), 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Graph: g, System: ps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.System().TotalPaths() != ps.TotalPaths() {
+		t.Fatal("engine must serve the provided system as-is")
+	}
+}

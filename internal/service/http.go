@@ -1,0 +1,239 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"sparseroute/internal/demand"
+	"sparseroute/internal/serial"
+)
+
+// Server is the HTTP surface over an Engine.
+//
+//	POST /v1/demand        submit a demand epoch (serial.DemandJSON body);
+//	                       ?wait=1 blocks until the epoch resolves
+//	GET  /v1/paths         candidate paths + live rates for ?src=&dst=
+//	GET  /v1/routing       the full active routing
+//	POST /v1/snapshot      persist the path system to the snapshot file
+//	GET  /debug/vars       expvar metrics
+//	GET  /healthz          liveness
+type Server struct {
+	engine       *Engine
+	snapshotPath string
+	mux          *http.ServeMux
+}
+
+// NewServer wires the engine's handlers. snapshotPath may be empty, which
+// disables POST /v1/snapshot.
+func NewServer(e *Engine, snapshotPath string) *Server {
+	s := &Server{engine: e, snapshotPath: snapshotPath, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/demand", s.handleDemand)
+	s.mux.HandleFunc("GET /v1/paths", s.handlePaths)
+	s.mux.HandleFunc("GET /v1/routing", s.handleRouting)
+	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	s.mux.Handle("GET /debug/vars", e.Metrics())
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// demandResponse is the POST /v1/demand reply.
+type demandResponse struct {
+	Epoch      uint64  `json:"epoch"`
+	Solved     bool    `json:"solved"`
+	Fallback   bool    `json:"fallback,omitempty"`
+	Err        string  `json:"err,omitempty"`
+	Congestion float64 `json:"congestion,omitempty"`
+	LatencyMS  float64 `json:"latency_ms,omitempty"`
+}
+
+func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
+	d, err := serial.DecodeDemand(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	epoch, err := s.engine.SubmitDemand(d)
+	switch {
+	case errors.Is(err, ErrBusy):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if r.URL.Query().Get("wait") == "" {
+		writeJSON(w, http.StatusAccepted, demandResponse{Epoch: epoch})
+		return
+	}
+	out, err := s.engine.Wait(r.Context(), epoch)
+	if err != nil {
+		writeError(w, http.StatusGatewayTimeout, "epoch %d still solving: %v", epoch, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, demandResponse{
+		Epoch:      out.Epoch,
+		Solved:     out.OK,
+		Fallback:   out.Fallback,
+		Err:        out.Err,
+		Congestion: out.Congestion,
+		LatencyMS:  float64(out.Latency.Microseconds()) / 1000,
+	})
+}
+
+// pathsResponse is the GET /v1/paths reply: every candidate of the pair with
+// the rate the active routing currently sends over it.
+type pathsResponse struct {
+	Src   int            `json:"src"`
+	Dst   int            `json:"dst"`
+	Epoch uint64         `json:"epoch"`
+	Paths []pathWithRate `json:"paths"`
+}
+
+type pathWithRate struct {
+	Edges    []int   `json:"edges"`
+	Vertices []int   `json:"vertices"`
+	Rate     float64 `json:"rate"`
+}
+
+func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
+	src, err1 := strconv.Atoi(r.URL.Query().Get("src"))
+	dst, err2 := strconv.Atoi(r.URL.Query().Get("dst"))
+	if err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest, "src and dst must be integers")
+		return
+	}
+	g := s.engine.System().Graph()
+	n := g.NumVertices()
+	if src < 0 || src >= n || dst < 0 || dst >= n || src == dst {
+		writeError(w, http.StatusBadRequest, "need 0 <= src != dst < %d", n)
+		return
+	}
+	candidates := s.engine.System().Unique(src, dst)
+	if len(candidates) == 0 {
+		writeError(w, http.StatusNotFound, "no candidate paths for pair (%d,%d)", src, dst)
+		return
+	}
+	// Rates come from the lock-free active state; zero before any epoch or
+	// for candidates the current adaptation leaves idle.
+	resp := pathsResponse{Src: src, Dst: dst}
+	rates := make(map[string]float64)
+	if st := s.engine.Active(); st != nil {
+		resp.Epoch = st.Epoch
+		for _, wp := range st.Routing[demand.MakePair(src, dst)] {
+			rates[wp.Path.Key()] += wp.Weight
+		}
+	}
+	for _, p := range candidates {
+		// Orient from src for a stable presentation.
+		q := p
+		if q.Src != src {
+			q = q.Reverse()
+		}
+		vs, err := q.Vertices(g)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "corrupt candidate: %v", err)
+			return
+		}
+		ids := q.EdgeIDs
+		if ids == nil {
+			ids = []int{}
+		}
+		resp.Paths = append(resp.Paths, pathWithRate{Edges: ids, Vertices: vs, Rate: rates[p.Key()]})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// routingResponse is the GET /v1/routing reply.
+type routingResponse struct {
+	Epoch      uint64             `json:"epoch"`
+	Congestion float64            `json:"congestion"`
+	Routing    serial.RoutingJSON `json:"routing"`
+}
+
+func (s *Server) handleRouting(w http.ResponseWriter, r *http.Request) {
+	st := s.engine.Active()
+	if st == nil {
+		writeError(w, http.StatusNotFound, "no epoch solved yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, routingResponse{
+		Epoch:      st.Epoch,
+		Congestion: st.Congestion,
+		Routing:    serial.RoutingToJSON(s.engine.System().Graph(), st.Routing),
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.snapshotPath == "" {
+		writeError(w, http.StatusBadRequest, "no snapshot path configured (start with --snapshot)")
+		return
+	}
+	n, err := s.engine.SnapshotToFile(s.snapshotPath)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path":  s.snapshotPath,
+		"bytes": n,
+		"hash":  fmt.Sprintf("%016x", s.engine.Hash()),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	var epoch uint64
+	if st := s.engine.Active(); st != nil {
+		epoch = st.Epoch
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": epoch})
+}
+
+// SnapshotToFile atomically writes the engine's snapshot to path (temp file
+// + rename), returning the byte count.
+func (e *Engine) SnapshotToFile(path string) (int64, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	if err := e.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	info, err := tmp.Stat()
+	if err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}

@@ -1,0 +1,276 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"sparseroute/internal/graph/gen"
+	"sparseroute/internal/oblivious"
+)
+
+func testServer(t *testing.T, cfg Config, snapshotPath string) (*Server, *Engine, *httptest.Server) {
+	t.Helper()
+	if cfg.Graph == nil {
+		cfg.Graph = gen.Hypercube(3)
+	}
+	if cfg.Router == nil && cfg.System == nil {
+		r, err := oblivious.Build("valiant", cfg.Graph, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Router = r
+		cfg.RouterName = "valiant"
+	}
+	if cfg.R == 0 {
+		cfg.R = 3
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	srv := NewServer(e, snapshotPath)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, e, ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	raw, _ := io.ReadAll(resp.Body)
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("bad JSON %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	raw, _ := io.ReadAll(resp.Body)
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("bad JSON %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+func TestServerDemandPathsRoutingFlow(t *testing.T) {
+	_, _, ts := testServer(t, Config{Seed: 3}, "")
+
+	// Before any epoch: paths respond with zero rates, routing is 404.
+	code, paths := getJSON(t, ts.URL+"/v1/paths?src=0&dst=7")
+	if code != http.StatusOK {
+		t.Fatalf("paths before epoch: %d %v", code, paths)
+	}
+	if paths["epoch"].(float64) != 0 {
+		t.Fatalf("epoch %v before any demand", paths["epoch"])
+	}
+	if code, _ := getJSON(t, ts.URL+"/v1/routing"); code != http.StatusNotFound {
+		t.Fatalf("routing before epoch: %d", code)
+	}
+
+	// Push one epoch synchronously.
+	code, resp := postJSON(t, ts.URL+"/v1/demand?wait=1",
+		`{"entries":[{"u":0,"v":7,"amount":2},{"u":3,"v":4,"amount":1}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("demand: %d %v", code, resp)
+	}
+	if resp["solved"] != true || resp["epoch"].(float64) != 1 {
+		t.Fatalf("demand response %v", resp)
+	}
+
+	// Paths now expose live rates summing to the demand amount.
+	code, paths = getJSON(t, ts.URL+"/v1/paths?src=7&dst=0")
+	if code != http.StatusOK {
+		t.Fatalf("paths: %d %v", code, paths)
+	}
+	var total float64
+	for _, p := range paths["paths"].([]any) {
+		total += p.(map[string]any)["rate"].(float64)
+	}
+	if total < 1.99 || total > 2.01 {
+		t.Fatalf("rates sum to %v, want 2", total)
+	}
+
+	// Routing reports the epoch and a positive congestion.
+	code, routing := getJSON(t, ts.URL+"/v1/routing")
+	if code != http.StatusOK || routing["epoch"].(float64) != 1 {
+		t.Fatalf("routing: %d %v", code, routing)
+	}
+	if routing["congestion"].(float64) <= 0 {
+		t.Fatalf("congestion %v", routing["congestion"])
+	}
+
+	// Metrics show the solved epoch.
+	code, vars := getJSON(t, ts.URL+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("vars: %d", code)
+	}
+	if vars["epochs_solved"].(float64) < 1 {
+		t.Fatalf("epochs_solved %v", vars["epochs_solved"])
+	}
+	lat := vars["solve_latency_seconds"].(map[string]any)
+	if lat["count"].(float64) < 1 {
+		t.Fatalf("latency window empty: %v", lat)
+	}
+
+	// Health reports the active epoch.
+	if code, h := getJSON(t, ts.URL+"/healthz"); code != http.StatusOK || h["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, h)
+	}
+}
+
+func TestServerRejectsMalformedRequests(t *testing.T) {
+	_, _, ts := testServer(t, Config{Seed: 3}, "")
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/v1/demand", `not json`, http.StatusBadRequest},
+		{"POST", "/v1/demand", `{"entries":[]}`, http.StatusBadRequest},
+		{"POST", "/v1/demand", `{"entries":[{"u":0,"v":99,"amount":1}]}`, http.StatusBadRequest},
+		{"GET", "/v1/paths?src=a&dst=1", "", http.StatusBadRequest},
+		{"GET", "/v1/paths?src=1&dst=1", "", http.StatusBadRequest},
+		{"GET", "/v1/paths?src=0&dst=400", "", http.StatusBadRequest},
+		{"POST", "/v1/snapshot", "", http.StatusBadRequest}, // no path configured
+	}
+	for _, c := range cases {
+		var code int
+		if c.method == "POST" {
+			code, _ = postJSON(t, ts.URL+c.path, c.body)
+		} else {
+			code, _ = getJSON(t, ts.URL+c.path)
+		}
+		if code != c.want {
+			t.Fatalf("%s %s: code %d, want %d", c.method, c.path, code, c.want)
+		}
+	}
+}
+
+func TestServerSnapshotEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "system.snapshot")
+	_, e, ts := testServer(t, Config{Seed: 3}, snap)
+
+	code, resp := postJSON(t, ts.URL+"/v1/snapshot", "")
+	if code != http.StatusOK {
+		t.Fatalf("snapshot: %d %v", code, resp)
+	}
+	if resp["hash"] != fmt.Sprintf("%016x", e.Hash()) {
+		t.Fatalf("hash mismatch: %v", resp)
+	}
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	restored, err := Restore(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if restored.Hash() != e.Hash() {
+		t.Fatal("snapshot file does not restore to the same system")
+	}
+}
+
+// TestServerConcurrentDemandAndReads is the race-focused test: it hammers
+// POST /v1/demand and GET /v1/paths / /v1/routing / /debug/vars
+// concurrently on a small hypercube engine. Run with -race; the invariant
+// under test is that lock-free reads stay consistent while epochs solve and
+// publish.
+func TestServerConcurrentDemandAndReads(t *testing.T) {
+	_, _, ts := testServer(t, Config{Seed: 5, Workers: 4, QueueDepth: 64}, "")
+	client := ts.Client()
+
+	const writers, readers, iters = 4, 6, 12
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 0xbeef))
+			for i := 0; i < iters; i++ {
+				u := rng.IntN(8)
+				v := (u + 1 + rng.IntN(7)) % 8
+				if u > v {
+					u, v = v, u
+				}
+				body := fmt.Sprintf(`{"entries":[{"u":%d,"v":%d,"amount":%d}]}`, u, v, 1+rng.IntN(3))
+				resp, err := client.Post(ts.URL+"/v1/demand?wait=1", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				// 200 (solved) and 503 (shed) are both legal under load.
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+					t.Errorf("demand: unexpected status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	urls := []string{"/v1/paths?src=0&dst=7", "/v1/paths?src=2&dst=5", "/v1/routing", "/debug/vars", "/healthz"}
+	for rdr := 0; rdr < readers; rdr++ {
+		wg.Add(1)
+		go func(rdr int) {
+			defer wg.Done()
+			for i := 0; i < iters*3; i++ {
+				resp, err := client.Get(ts.URL + urls[(rdr+i)%len(urls)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+					t.Errorf("read: unexpected status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(rdr)
+	}
+	wg.Wait()
+
+	// After the dust settles every accepted epoch must be accounted for.
+	code, vars := getJSON(t, ts.URL+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("vars: %d", code)
+	}
+	received := vars["epochs_received"].(float64)
+	solved := vars["epochs_solved"].(float64)
+	fallbacks := vars["fallbacks"].(float64)
+	if solved+fallbacks < received {
+		// Some epochs may legitimately still be in flight here, so drain.
+		t.Logf("received=%v solved=%v fallbacks=%v (some in flight)", received, solved, fallbacks)
+	}
+	if solved < 1 {
+		t.Fatal("no epoch solved during the hammer run")
+	}
+}

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"sparseroute/internal/stats"
+)
+
+// Metrics is the engine's expvar-based registry. Counters are expvar types
+// (atomic, JSON-rendering); quantile gauges are expvar.Func closures
+// computed at scrape time over sliding windows. The registry is private to
+// its engine — nothing is published to the process-global expvar namespace,
+// so tests and multi-engine processes never collide — and is served on
+// /debug/vars in the conventional expvar JSON shape.
+type Metrics struct {
+	vars *expvar.Map
+
+	received       expvar.Int // epochs accepted into the queue
+	solved         expvar.Int // epochs solved and published
+	failed         expvar.Int // epochs whose solve errored
+	deadlineMissed expvar.Int // epochs whose solve blew the deadline
+	fallbacks      expvar.Int // total epochs served by the stale routing
+	shed           expvar.Int // demands rejected by back-pressure
+	lastCongestion expvar.Float
+
+	mu   sync.Mutex
+	lat  *stats.Ring // solve latencies, seconds
+	cong *stats.Ring // per-epoch congestion
+}
+
+func newMetrics(e *Engine) *Metrics {
+	m := &Metrics{
+		vars: new(expvar.Map).Init(),
+		lat:  stats.NewRing(e.cfg.LatencyWindow),
+		cong: stats.NewRing(e.cfg.LatencyWindow),
+	}
+	m.vars.Set("epochs_received", &m.received)
+	m.vars.Set("epochs_solved", &m.solved)
+	m.vars.Set("epochs_failed", &m.failed)
+	m.vars.Set("solve_deadline_missed", &m.deadlineMissed)
+	m.vars.Set("fallbacks", &m.fallbacks)
+	m.vars.Set("demands_shed", &m.shed)
+	m.vars.Set("last_congestion", &m.lastCongestion)
+	m.vars.Set("active_epoch", expvar.Func(func() any {
+		if s := e.Active(); s != nil {
+			return s.Epoch
+		}
+		return 0
+	}))
+	m.vars.Set("solve_latency_seconds", expvar.Func(func() any {
+		return m.window(m.lat)
+	}))
+	m.vars.Set("congestion", expvar.Func(func() any {
+		return m.window(m.cong)
+	}))
+	st := e.system.Stats()
+	sys := map[string]any{
+		"hash":        fmt.Sprintf("%016x", e.hash),
+		"router":      e.cfg.RouterName,
+		"r":           e.cfg.R,
+		"seed":        e.cfg.Seed,
+		"pairs":       st.Pairs,
+		"total_paths": st.TotalPaths,
+		"sparsity":    st.Sparsity,
+		"max_hops":    st.MaxHops,
+	}
+	m.vars.Set("path_system", expvar.Func(func() any { return sys }))
+	return m
+}
+
+// observeSolve records one successful epoch solve.
+func (m *Metrics) observeSolve(latency time.Duration, congestion float64) {
+	m.solved.Add(1)
+	m.lastCongestion.Set(congestion)
+	m.mu.Lock()
+	m.lat.Push(latency.Seconds())
+	m.cong.Push(congestion)
+	m.mu.Unlock()
+}
+
+// window summarizes a sliding window as scrape-time quantiles.
+func (m *Metrics) window(r *stats.Ring) map[string]float64 {
+	m.mu.Lock()
+	xs := r.Values()
+	m.mu.Unlock()
+	return map[string]float64{
+		"count": float64(len(xs)),
+		"mean":  stats.Mean(xs),
+		"p50":   stats.Quantile(xs, 0.5),
+		"p90":   stats.Quantile(xs, 0.9),
+		"p99":   stats.Quantile(xs, 0.99),
+		"max":   stats.Max(xs),
+	}
+}
+
+// ServeHTTP renders the registry as the conventional /debug/vars JSON
+// object.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprint(w, m.vars.String())
+}

@@ -1,0 +1,84 @@
+// Package service is the online routing engine: the long-running serving
+// form of the paper's protocol. The offline phase (sample a sparse path
+// system from a competitive oblivious routing) runs once at startup — or is
+// skipped entirely by restoring a snapshot — and the online phase becomes an
+// epoch loop: demand matrices arrive over HTTP, each is adapted on a bounded
+// worker pool, and the resulting routing is published behind an atomic
+// pointer so path lookups stay lock-free while the next epoch solves.
+//
+// This is the SMORE/Kulfi semi-oblivious TE loop as a subsystem: paths are
+// installed once (switch state is expensive), sending rates re-optimize per
+// epoch (rate updates are cheap), and a solve that fails or blows its
+// deadline falls back to the last good routing instead of blocking reads.
+//
+// The package deliberately uses only the standard library: net/http for the
+// surface, expvar conventions for /debug/vars, internal/par for the worker
+// pool, internal/serial for snapshots, internal/stats for latency quantiles.
+package service
+
+import (
+	"errors"
+	"time"
+
+	"sparseroute/internal/core"
+	"sparseroute/internal/demand"
+	"sparseroute/internal/graph"
+	"sparseroute/internal/oblivious"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Graph is the topology to serve. Required.
+	Graph *graph.Graph
+	// Router is the oblivious routing to sample from. Required unless
+	// System is set (snapshot restore).
+	Router oblivious.Router
+	// RouterName is recorded in snapshots and metrics (metadata only).
+	RouterName string
+	// System, when non-nil, is a pre-built path system (typically restored
+	// from a snapshot): startup skips resampling entirely.
+	System *core.PathSystem
+	// Pairs to sample at startup. Nil means every vertex pair.
+	Pairs []demand.Pair
+	// R is the per-pair sample count (Definition 5.2). Default 4.
+	R int
+	// Seed drives the sampling.
+	Seed uint64
+	// Workers bounds concurrent epoch solves. Default 1 (epochs solve in
+	// submission order; higher values let a slow epoch overlap the next).
+	Workers int
+	// QueueDepth bounds pending epochs before SubmitDemand sheds load with
+	// ErrBusy. Default 16.
+	QueueDepth int
+	// SolveDeadline bounds one epoch's solve; on expiry the engine keeps
+	// the last good routing and counts a fallback. 0 disables the deadline.
+	SolveDeadline time.Duration
+	// Adapt tunes the rate-adaptation solvers.
+	Adapt *core.AdaptOptions
+	// LatencyWindow is the number of recent solves the latency/congestion
+	// quantiles cover. Default 256.
+	LatencyWindow int
+}
+
+func (c Config) withDefaults() Config {
+	if c.R <= 0 {
+		c.R = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 256
+	}
+	return c
+}
+
+// ErrBusy is returned by SubmitDemand when the epoch queue is full: the
+// caller should retry later (HTTP 503).
+var ErrBusy = errors.New("service: epoch queue full")
+
+// ErrClosed is returned by SubmitDemand after Close.
+var ErrClosed = errors.New("service: engine closed")

@@ -95,6 +95,49 @@ func Stddev(xs []float64) float64 {
 	return math.Sqrt(s / float64(len(xs)-1))
 }
 
+// Ring is a fixed-capacity sliding window of observations: once full, each
+// Push evicts the oldest value. The serving-side metrics registry uses it to
+// report solve-latency quantiles over the recent past instead of the whole
+// process lifetime. Not safe for concurrent use; callers synchronize.
+type Ring struct {
+	buf  []float64
+	n    int // number of live values (<= cap)
+	next int // index the next Push writes
+}
+
+// NewRing returns a ring holding at most capacity values (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]float64, capacity)}
+}
+
+// Push records x, evicting the oldest observation when full.
+func (r *Ring) Push(x float64) {
+	r.buf[r.next] = x
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// Len returns the number of live observations.
+func (r *Ring) Len() int { return r.n }
+
+// Values returns the live observations, oldest first, as a fresh slice safe
+// for the caller to sort or keep.
+func (r *Ring) Values() []float64 {
+	out := make([]float64, 0, r.n)
+	if r.n < len(r.buf) {
+		out = append(out, r.buf[:r.n]...)
+		return out
+	}
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
 // Table is a printable experiment table.
 type Table struct {
 	Title  string

@@ -120,3 +120,65 @@ func TestFFormats(t *testing.T) {
 		t.Fatal(F(2.345))
 	}
 }
+
+func TestRingBelowCapacity(t *testing.T) {
+	r := NewRing(5)
+	if r.Len() != 0 || len(r.Values()) != 0 {
+		t.Fatal("fresh ring should be empty")
+	}
+	r.Push(1)
+	r.Push(2)
+	r.Push(3)
+	got := r.Values()
+	want := []float64{1, 2, 3}
+	if len(got) != 3 {
+		t.Fatalf("len=%d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRing(3)
+	for i := 1; i <= 7; i++ {
+		r.Push(float64(i))
+	}
+	got := r.Values()
+	want := []float64{5, 6, 7}
+	if r.Len() != 3 {
+		t.Fatalf("len=%d", r.Len())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// The returned slice is a copy: mutating it must not affect the ring.
+	got[0] = -1
+	if r.Values()[0] != 5 {
+		t.Fatal("Values must return a fresh slice")
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Push(4)
+	r.Push(9)
+	got := r.Values()
+	if len(got) != 1 || got[0] != 9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRingQuantileIntegration(t *testing.T) {
+	r := NewRing(100)
+	for i := 1; i <= 100; i++ {
+		r.Push(float64(i))
+	}
+	if q := Quantile(r.Values(), 0.5); q < 50 || q > 51 {
+		t.Fatalf("median=%v", q)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"sparseroute/internal/mcf"
 	"sparseroute/internal/oblivious"
 	"sparseroute/internal/schedule"
+	"sparseroute/internal/service"
 	"sparseroute/internal/temodel"
 )
 
@@ -80,6 +81,13 @@ type (
 	ScheduleResult = schedule.Result
 	// TEMethod is one routing method in the traffic-engineering runner.
 	TEMethod = temodel.Method
+	// Engine is the online routing engine: path system resident, demands
+	// adapted per epoch, reads lock-free (see cmd/routed for the daemon).
+	Engine = service.Engine
+	// EngineConfig parameterizes NewEngine.
+	EngineConfig = service.Config
+	// EngineState is one published epoch of an Engine.
+	EngineState = service.State
 )
 
 // --- Topologies -----------------------------------------------------------
@@ -239,6 +247,14 @@ func SimulatePackets(g *Graph, r Routing, maxDelay, trials int, seed uint64) (*S
 func IntegralAdapt(ps *PathSystem, d *Demand, opt *AdaptOptions, seed uint64) (Routing, error) {
 	return ps.AdaptIntegral(d, opt, rand.New(rand.NewPCG(seed, 0x6)))
 }
+
+// --- Serving ----------------------------------------------------------------
+
+// NewEngine builds the online routing engine: it samples the path system at
+// startup (or serves cfg.System as restored from a snapshot) and then adapts
+// sending rates per submitted demand epoch on a bounded worker pool. Close
+// it to drain. The HTTP daemon around it lives in cmd/routed.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return service.New(cfg) }
 
 // WorstDemandSearch hill-climbs for a permutation demand the system routes
 // badly, returning the demand and its competitive ratio. The system must
