@@ -250,3 +250,63 @@ func TestBuildEngineUnknownRouter(t *testing.T) {
 		t.Fatalf("error should name the router: %v", err)
 	}
 }
+
+// TestDaemonDeadlineCancelsSolve: with an impossible -deadline every solve is
+// canceled rather than orphaned — the epoch reports a fallback, ?wait=0
+// returns 202 immediately, and /debug/vars exposes the cancellation metrics.
+func TestDaemonDeadlineCancelsSolve(t *testing.T) {
+	dir := t.TempDir()
+	topo := filepath.Join(dir, "topo.json")
+	f, err := os.Create(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.EncodeGraph(f, gen.Hypercube(3)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	o, err := parseFlags([]string{"-topo", topo, "-router", "spf", "-s", "2", "-deadline", "1ns"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, stop := startDaemon(t, o)
+	defer stop()
+
+	// ?wait=0 must not block on the (doomed) solve.
+	resp, err := http.Post(url+"/v1/demand?wait=0", "application/json",
+		strings.NewReader(`{"entries":[{"u":0,"v":7,"amount":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("wait=0 status %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// ?wait=1 observes the deadline fallback.
+	resp, err = http.Post(url+"/v1/demand?wait=1", "application/json",
+		strings.NewReader(`{"entries":[{"u":1,"v":6,"amount":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait=1 status %d, want 200", resp.StatusCode)
+	}
+	ep := decodeBody(t, resp)
+	if ep["fallback"] != true || ep["solved"] == true {
+		t.Fatalf("epoch should be a deadline fallback: %v", ep)
+	}
+
+	resp, err = http.Get(url + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := decodeBody(t, resp)
+	if vars["solves_canceled"].(float64) < 1 {
+		t.Fatalf("solves_canceled=%v, want >= 1", vars["solves_canceled"])
+	}
+	if _, ok := vars["solve_cpu_saved"]; !ok {
+		t.Fatal("solve_cpu_saved missing from /debug/vars")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -69,24 +70,43 @@ func (ps *PathSystem) variableCount(d *demand.Demand) int {
 // the system's candidate paths. Small instances are solved exactly with the
 // simplex LP; larger ones with the MWU solver.
 func (ps *PathSystem) Adapt(d *demand.Demand, opt *AdaptOptions) (flow.Routing, error) {
+	return ps.AdaptCtx(context.Background(), d, opt)
+}
+
+// AdaptCtx is Adapt under a context: both the exact simplex solver and the
+// MWU solver poll ctx and abort with ctx.Err() when it is canceled, so a
+// caller whose deadline fired stops burning CPU instead of orphaning the
+// solve.
+func (ps *PathSystem) AdaptCtx(ctx context.Context, d *demand.Demand, opt *AdaptOptions) (flow.Routing, error) {
 	o := opt.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !ps.Covers(d) {
 		return nil, fmt.Errorf("core: %w", mcf.ErrNoCandidates)
 	}
 	cand := ps.candidatesFor(d)
 	if o.ExactThreshold > 0 && ps.variableCount(d) <= o.ExactThreshold {
-		if r, err := mcf.MinCongestionOnPathsExact(ps.g, cand, d); err == nil {
+		if r, err := mcf.MinCongestionOnPathsExactCtx(ctx, ps.g, cand, d); err == nil {
 			return r, nil
+		} else if cerr := ctx.Err(); cerr != nil {
+			// Canceled, not numerical trouble: do NOT fall through to MWU.
+			return nil, cerr
 		}
 		// Numerical trouble in the LP: fall through to MWU.
 	}
-	return mcf.MinCongestionOnPaths(ps.g, cand, d, &o.MWU)
+	return mcf.MinCongestionOnPathsCtx(ctx, ps.g, cand, d, &o.MWU)
 }
 
 // AdaptCongestion is Adapt returning only the achieved maximum congestion —
 // the cong(P, d) of Definition 5.1.
 func (ps *PathSystem) AdaptCongestion(d *demand.Demand, opt *AdaptOptions) (float64, error) {
-	r, err := ps.Adapt(d, opt)
+	return ps.AdaptCongestionCtx(context.Background(), d, opt)
+}
+
+// AdaptCongestionCtx is AdaptCongestion under a context.
+func (ps *PathSystem) AdaptCongestionCtx(ctx context.Context, d *demand.Demand, opt *AdaptOptions) (float64, error) {
+	r, err := ps.AdaptCtx(ctx, d, opt)
 	if err != nil {
 		return 0, err
 	}
@@ -97,16 +117,26 @@ func (ps *PathSystem) AdaptCongestion(d *demand.Demand, opt *AdaptOptions) (floa
 // adaptation, randomized rounding (Lemma 6.3, best of several trials), then
 // packet-level local search over the candidate paths.
 func (ps *PathSystem) AdaptIntegral(d *demand.Demand, opt *AdaptOptions, rng *rand.Rand) (flow.Routing, error) {
+	return ps.AdaptIntegralCtx(context.Background(), d, opt, rng)
+}
+
+// AdaptIntegralCtx is AdaptIntegral under a context. The fractional solve is
+// fully cancelable; the rounding and local-search phases are bounded by their
+// trial/pass budgets and poll ctx between phases.
+func (ps *PathSystem) AdaptIntegralCtx(ctx context.Context, d *demand.Demand, opt *AdaptOptions, rng *rand.Rand) (flow.Routing, error) {
 	o := opt.withDefaults()
 	if !d.IsIntegral() {
 		return nil, fmt.Errorf("core: integral adaptation needs an integral demand")
 	}
-	frac, err := ps.Adapt(d, &o)
+	frac, err := ps.AdaptCtx(ctx, d, &o)
 	if err != nil {
 		return nil, err
 	}
 	rounded, err := rounding.RoundBest(ps.g, frac, d, o.RoundingTrials, rng)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return rounding.LocalSearch(ps.g, rounded, ps.candidatesFor(d), o.LocalSearchPasses), nil

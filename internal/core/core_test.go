@@ -1,13 +1,17 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand/v2"
 	"testing"
+	"time"
 
 	"sparseroute/internal/demand"
 	"sparseroute/internal/graph"
 	"sparseroute/internal/graph/gen"
+	"sparseroute/internal/mcf"
 	"sparseroute/internal/oblivious"
 )
 
@@ -641,5 +645,68 @@ func TestAdaptCompletionTimeEmptySystem(t *testing.T) {
 	ps := NewPathSystem(gen.Ring(4))
 	if _, err := ps.AdaptCompletionTime(demand.SinglePair(0, 1, 1), nil); err == nil {
 		t.Fatal("empty system should fail")
+	}
+}
+
+// TestAdaptCtxCancellation covers the ctx-threaded adaptation stack: both
+// solver paths abort on a pre-canceled context, a mid-solve deadline stops
+// an MWU run sized to need many iterations, and the wrappers propagate.
+func TestAdaptCtxCancellation(t *testing.T) {
+	g := graph.New(4)
+	a1 := g.AddUnitEdge(0, 1)
+	a2 := g.AddUnitEdge(1, 3)
+	b1 := g.AddUnitEdge(0, 2)
+	b2 := g.AddUnitEdge(2, 3)
+	ps := NewPathSystem(g)
+	for _, p := range []graph.Path{
+		{Src: 0, Dst: 3, EdgeIDs: []int{a1, a2}},
+		{Src: 0, Dst: 3, EdgeIDs: []int{b1, b2}},
+	} {
+		if err := ps.AddPath(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := demand.SinglePair(0, 3, 2)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range []struct {
+		name string
+		opt  *AdaptOptions
+	}{
+		{"exact", &AdaptOptions{ExactThreshold: 600}},
+		{"mwu", &AdaptOptions{ExactThreshold: -1}},
+	} {
+		if _, err := ps.AdaptCtx(canceled, d, tc.opt); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s pre-canceled: err=%v, want context.Canceled", tc.name, err)
+		}
+		r, err := ps.AdaptCtx(context.Background(), d, tc.opt)
+		if err != nil {
+			t.Errorf("%s live ctx: %v", tc.name, err)
+		} else if err := r.ValidateRoutes(g, d, 1e-7); err != nil {
+			t.Errorf("%s live ctx routing: %v", tc.name, err)
+		}
+	}
+
+	// Mid-solve: force the MWU path with an iteration budget that would run
+	// for minutes; the deadline must stop it promptly.
+	slow := &AdaptOptions{ExactThreshold: -1, MWU: mcf.Options{Iterations: 1 << 30}}
+	ctx, cancelT := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancelT()
+	start := time.Now()
+	if _, err := ps.AdaptCtx(ctx, d, slow); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-solve: err=%v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v to land", elapsed)
+	}
+
+	// The wrappers propagate cancellation.
+	if _, err := ps.AdaptCongestionCtx(canceled, d, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("AdaptCongestionCtx: err=%v, want context.Canceled", err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	if _, err := ps.AdaptIntegralCtx(canceled, d, nil, rng); !errors.Is(err, context.Canceled) {
+		t.Errorf("AdaptIntegralCtx: err=%v, want context.Canceled", err)
 	}
 }

@@ -9,6 +9,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -62,6 +63,16 @@ type Solution struct {
 // intended for the repository's small validation LPs (hundreds of variables
 // and constraints), not for large-scale optimization.
 func (p *Problem) Solve() (*Solution, error) {
+	return p.SolveCtx(context.Background())
+}
+
+// SolveCtx is Solve under a context: the pivot loop polls ctx every batch of
+// pivots and aborts with ctx.Err() when it is canceled, so a caller that
+// missed its deadline stops the solve instead of orphaning it.
+func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := len(p.C)
 	m := len(p.A)
 	if len(p.B) != m || len(p.Rel) != m {
@@ -159,7 +170,7 @@ func (p *Problem) Solve() (*Solution, error) {
 				}
 			}
 		}
-		if err := runSimplex(tab, basis, obj, total); err != nil {
+		if err := runSimplex(ctx, tab, basis, obj, total); err != nil {
 			return nil, err
 		}
 		if -obj[total] > 1e-7 {
@@ -202,7 +213,7 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 	// Freeze artificials: they must never re-enter.
 	limit := n + numSlack
-	if err := runSimplexLimited(tab, basis, obj, total, limit); err != nil {
+	if err := runSimplexLimited(ctx, tab, basis, obj, total, limit); err != nil {
 		return nil, err
 	}
 
@@ -254,16 +265,26 @@ func (p *Problem) Solve() (*Solution, error) {
 	return &Solution{X: x, Value: val}, nil
 }
 
+// ctxCheckInterval is how many pivots pass between ctx.Err() polls: frequent
+// enough that cancellation lands within a handful of pivots, rare enough that
+// the poll never shows up in a profile.
+const ctxCheckInterval = 16
+
 // runSimplex performs simplex iterations over all columns.
-func runSimplex(tab [][]float64, basis []int, obj []float64, total int) error {
-	return runSimplexLimited(tab, basis, obj, total, total)
+func runSimplex(ctx context.Context, tab [][]float64, basis []int, obj []float64, total int) error {
+	return runSimplexLimited(ctx, tab, basis, obj, total, total)
 }
 
 // runSimplexLimited restricts entering variables to columns < limit.
-func runSimplexLimited(tab [][]float64, basis []int, obj []float64, total, limit int) error {
+func runSimplexLimited(ctx context.Context, tab [][]float64, basis []int, obj []float64, total, limit int) error {
 	m := len(tab)
 	maxIter := 8000 + 50*(m+total)
 	for iter := 0; iter < maxIter; iter++ {
+		if iter%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		// Bland's rule: smallest-index column with negative reduced cost.
 		col := -1
 		for j := 0; j < limit; j++ {

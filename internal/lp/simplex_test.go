@@ -1,9 +1,12 @@
 package lp
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand/v2"
 	"testing"
+	"time"
 )
 
 func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
@@ -257,5 +260,65 @@ func TestRandomLPsFeasibleOptimum(t *testing.T) {
 				t.Fatalf("trial %d: x[%d]=%v negative", trial, j, x)
 			}
 		}
+	}
+}
+
+// countdownCtx is a context whose Err() starts returning context.Canceled
+// after a fixed number of polls: it lands the cancellation deterministically
+// inside the pivot loop, between the entry check and optimality.
+type countdownCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+func TestSolveCtxPreCanceled(t *testing.T) {
+	p := Problem{
+		C:   []float64{1},
+		A:   [][]float64{{1}},
+		B:   []float64{1},
+		Rel: []Relation{GE},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.SolveCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled: err=%v, want context.Canceled", err)
+	}
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := p.SolveCtx(dctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err=%v, want context.DeadlineExceeded", err)
+	}
+	// A live context still solves to the same optimum as Solve.
+	s, err := p.SolveCtx(context.Background())
+	if err != nil || !approx(s.Value, 1, 1e-9) {
+		t.Fatalf("live ctx: %v %+v", err, s)
+	}
+}
+
+func TestSolveCtxMidPivotCancellation(t *testing.T) {
+	// GE rows force a phase-1 run, so the pivot loop polls the context after
+	// the entry check; the countdown lands the cancellation there.
+	p := Problem{
+		C:   []float64{1, 2, 3},
+		A:   [][]float64{{1, 1, 0}, {0, 1, 1}, {1, 0, 1}},
+		B:   []float64{2, 3, 4},
+		Rel: []Relation{GE, GE, GE},
+	}
+	if _, err := p.SolveCtx(context.Background()); err != nil {
+		t.Fatalf("sanity: LP should be solvable, got %v", err)
+	}
+	// One allowance covers the SolveCtx entry check; the next poll happens
+	// inside runSimplexLimited and must abort the solve.
+	ctx := &countdownCtx{Context: context.Background(), remaining: 1}
+	if _, err := p.SolveCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-pivot: err=%v, want context.Canceled", err)
 	}
 }

@@ -16,6 +16,7 @@
 package mcf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -56,6 +57,13 @@ var ErrNoCandidates = errors.New("mcf: demand pair has no candidate paths")
 // exactly; its MaxCongestion approaches the restricted optimum as Iterations
 // grows.
 func MinCongestionOnPaths(g *graph.Graph, cand map[demand.Pair][]graph.Path, d *demand.Demand, opt *Options) (flow.Routing, error) {
+	return MinCongestionOnPathsCtx(context.Background(), g, cand, d, opt)
+}
+
+// MinCongestionOnPathsCtx is MinCongestionOnPaths under a context: the MWU
+// loop polls ctx every round and aborts with ctx.Err() when it is canceled,
+// so a deadline-bound caller stops the solve instead of orphaning it.
+func MinCongestionOnPathsCtx(ctx context.Context, g *graph.Graph, cand map[demand.Pair][]graph.Path, d *demand.Demand, opt *Options) (flow.Routing, error) {
 	o := opt.withDefaults()
 	support := d.Support()
 	for _, p := range support {
@@ -69,6 +77,9 @@ func MinCongestionOnPaths(g *graph.Graph, cand map[demand.Pair][]graph.Path, d *
 		chosen[p] = make([]float64, len(cand[p]))
 	}
 	for iter := 0; iter < o.Iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		maxCum := 0.0
 		for _, c := range cum {
 			if c > maxCum {
@@ -113,6 +124,13 @@ func MinCongestionOnPaths(g *graph.Graph, cand map[demand.Pair][]graph.Path, d *
 // the simplex solver. Intended for small instances (≤ a few hundred
 // candidate paths); larger inputs should use MinCongestionOnPaths.
 func MinCongestionOnPathsExact(g *graph.Graph, cand map[demand.Pair][]graph.Path, d *demand.Demand) (flow.Routing, error) {
+	return MinCongestionOnPathsExactCtx(context.Background(), g, cand, d)
+}
+
+// MinCongestionOnPathsExactCtx is MinCongestionOnPathsExact under a context:
+// the underlying simplex pivots poll ctx and abort with ctx.Err() when it is
+// canceled.
+func MinCongestionOnPathsExactCtx(ctx context.Context, g *graph.Graph, cand map[demand.Pair][]graph.Path, d *demand.Demand) (flow.Routing, error) {
 	support := d.Support()
 	// Variable layout: one per (pair, candidate), then z last.
 	type varRef struct {
@@ -165,7 +183,7 @@ func MinCongestionOnPathsExact(g *graph.Graph, cand map[demand.Pair][]graph.Path
 			prob.Rel = append(prob.Rel, lp.LE)
 		}
 	}
-	sol, err := prob.Solve()
+	sol, err := prob.SolveCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("mcf: exact adaptation LP failed: %w", err)
 	}
@@ -175,7 +193,39 @@ func MinCongestionOnPathsExact(g *graph.Graph, cand map[demand.Pair][]graph.Path
 			out[vr.pair] = append(out[vr.pair], flow.WeightedPath{Path: cand[vr.pair][vr.j], Weight: sol.X[vi]})
 		}
 	}
+	if err := renormalizeToDemand(out, support, d); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// renormalizeToDemand rescales each pair's kept weights to sum to exactly
+// d(p). Dropping near-zero LP weights (≤ 1e-12) would otherwise leave the
+// routing slightly under-routing d, breaking the "routes d exactly" contract;
+// a pair whose mass was dropped entirely is an error rather than a silent
+// zero-routing.
+func renormalizeToDemand(out flow.Routing, support []demand.Pair, d *demand.Demand) error {
+	for _, p := range support {
+		want := d.Get(p.U, p.V)
+		if want <= 0 {
+			continue
+		}
+		var got float64
+		for _, wp := range out[p] {
+			got += wp.Weight
+		}
+		if got <= 0 {
+			return fmt.Errorf("mcf: exact adaptation lost all weight for pair %v", p)
+		}
+		if got == want {
+			continue
+		}
+		scale := want / got
+		for i := range out[p] {
+			out[p][i].Weight *= scale
+		}
+	}
+	return nil
 }
 
 // ApproxOptCongestion approximately computes the unrestricted offline
@@ -184,6 +234,12 @@ func MinCongestionOnPathsExact(g *graph.Graph, cand map[demand.Pair][]graph.Path
 // The oracle is Dijkstra under the MWU lengths, so the result converges to
 // the true fractional optimum.
 func ApproxOptCongestion(g *graph.Graph, d *demand.Demand, opt *Options) (flow.Routing, error) {
+	return ApproxOptCongestionCtx(context.Background(), g, d, opt)
+}
+
+// ApproxOptCongestionCtx is ApproxOptCongestion under a context: the MWU loop
+// polls ctx every round and aborts with ctx.Err() when it is canceled.
+func ApproxOptCongestionCtx(ctx context.Context, g *graph.Graph, d *demand.Demand, opt *Options) (flow.Routing, error) {
 	o := opt.withDefaults()
 	support := d.Support()
 	cum := make([]float64, g.NumEdges())
@@ -198,6 +254,9 @@ func ApproxOptCongestion(g *graph.Graph, d *demand.Demand, opt *Options) (flow.R
 	}
 	lengths := make([]float64, g.NumEdges())
 	for iter := 0; iter < o.Iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		maxCum := 0.0
 		for _, c := range cum {
 			if c > maxCum {

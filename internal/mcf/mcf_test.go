@@ -1,12 +1,15 @@
 package mcf
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand/v2"
 	"testing"
+	"time"
 
 	"sparseroute/internal/demand"
+	"sparseroute/internal/flow"
 	"sparseroute/internal/graph"
 	"sparseroute/internal/graph/gen"
 )
@@ -311,5 +314,120 @@ func TestOptionsDefaults(t *testing.T) {
 	custom := (&Options{Iterations: 7}).withDefaults()
 	if custom.Iterations != 7 || custom.Eta != 1.0 {
 		t.Fatalf("partial defaults wrong: %+v", custom)
+	}
+}
+
+// TestCancelableSolvers covers the ctx-accepting variants: pre-canceled
+// contexts abort before any work, and a mid-solve deadline stops an MWU run
+// sized to need far more iterations than the deadline allows.
+func TestCancelableSolvers(t *testing.T) {
+	g, cand := twoPathGraph()
+	d := demand.SinglePair(0, 3, 2)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	pre := []struct {
+		name string
+		run  func(ctx context.Context) error
+	}{
+		{"MinCongestionOnPathsCtx", func(ctx context.Context) error {
+			_, err := MinCongestionOnPathsCtx(ctx, g, cand, d, nil)
+			return err
+		}},
+		{"MinCongestionOnPathsExactCtx", func(ctx context.Context) error {
+			_, err := MinCongestionOnPathsExactCtx(ctx, g, cand, d)
+			return err
+		}},
+		{"ApproxOptCongestionCtx", func(ctx context.Context) error {
+			_, err := ApproxOptCongestionCtx(ctx, g, d, nil)
+			return err
+		}},
+	}
+	for _, tc := range pre {
+		if err := tc.run(canceled); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s pre-canceled: err=%v, want context.Canceled", tc.name, err)
+		}
+		if err := tc.run(context.Background()); err != nil {
+			t.Errorf("%s live ctx: %v", tc.name, err)
+		}
+	}
+
+	// Mid-solve: enough MWU iterations to run for minutes unless the
+	// deadline cancels the loop. Promptness bound is generous for CI noise.
+	huge := &Options{Iterations: 1 << 30}
+	mid := []struct {
+		name string
+		run  func(ctx context.Context) error
+	}{
+		{"MinCongestionOnPathsCtx", func(ctx context.Context) error {
+			_, err := MinCongestionOnPathsCtx(ctx, g, cand, d, huge)
+			return err
+		}},
+		{"ApproxOptCongestionCtx", func(ctx context.Context) error {
+			_, err := ApproxOptCongestionCtx(ctx, g, d, huge)
+			return err
+		}},
+	}
+	for _, tc := range mid {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		start := time.Now()
+		err := tc.run(ctx)
+		elapsed := time.Since(start)
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s mid-solve: err=%v, want context.DeadlineExceeded", tc.name, err)
+		}
+		if elapsed > 5*time.Second {
+			t.Errorf("%s took %v to observe cancellation", tc.name, elapsed)
+		}
+	}
+}
+
+// TestExactAdaptationRoutesExactly pins the "routes d exactly" contract:
+// dropping near-zero LP weights must not leave a pair under-routed, so kept
+// weights are renormalized to the pair's demand.
+func TestExactAdaptationRoutesExactly(t *testing.T) {
+	g, cand := twoPathGraph()
+	d := demand.SinglePair(0, 3, 2)
+	p := demand.MakePair(0, 3)
+
+	// Direct check of the renormalization: weights falling short of d by more than
+	// the kept-weight threshold must come back summing to d exactly.
+	r := flow.New()
+	r[p] = []flow.WeightedPath{
+		{Path: cand[p][0], Weight: 1 - 4e-12},
+		{Path: cand[p][1], Weight: 1 - 4e-12},
+	}
+	if err := renormalizeToDemand(r, d.Support(), d); err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, wp := range r[p] {
+		total += wp.Weight
+	}
+	if math.Abs(total-2) > 1e-12 {
+		t.Fatalf("renormalized total %v, want exactly 2", total)
+	}
+
+	// A pair whose mass was dropped entirely errors instead of silently
+	// routing nothing.
+	empty := flow.New()
+	if err := renormalizeToDemand(empty, d.Support(), d); err == nil {
+		t.Fatal("renormalize accepted a pair with no remaining weight")
+	}
+
+	// End to end: the exact solver's per-pair totals match the demand.
+	out, err := MinCongestionOnPathsExact(g, cand, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range d.Support() {
+		var got float64
+		for _, wp := range out[pair] {
+			got += wp.Weight
+		}
+		if want := d.Get(pair.U, pair.V); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("pair %v routes %v, want %v", pair, got, want)
+		}
 	}
 }

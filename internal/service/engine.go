@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -53,14 +54,18 @@ type Engine struct {
 
 	active atomic.Pointer[State]
 
+	// rootCtx parents every epoch solve; stop cancels it so Close aborts
+	// in-flight solves instead of waiting for them to run to completion.
+	rootCtx context.Context
+	stop    context.CancelFunc
+
 	mu        sync.Mutex
 	nextEpoch uint64
 	outcomes  map[uint64]*Outcome
-	order     []uint64 // outcome eviction, oldest first
+	order     []uint64            // outcome eviction, oldest first
+	pending   map[uint64]struct{} // accepted epochs whose outcome is not in yet
 	waiters   map[uint64][]chan *Outcome
 	closed    bool
-
-	solveWG sync.WaitGroup
 }
 
 // New builds an engine: it samples the path system (offline phase) unless
@@ -92,8 +97,10 @@ func New(cfg Config) (*Engine, error) {
 		system:   system,
 		hash:     serial.PathSystemHash(system),
 		outcomes: make(map[uint64]*Outcome),
+		pending:  make(map[uint64]struct{}),
 		waiters:  make(map[uint64][]chan *Outcome),
 	}
+	e.rootCtx, e.stop = context.WithCancel(context.Background())
 	e.metrics = newMetrics(e)
 	e.pool = par.NewPool(cfg.Workers, cfg.QueueDepth)
 	return e, nil
@@ -157,16 +164,24 @@ func (e *Engine) SubmitDemand(d *demand.Demand) (uint64, error) {
 		e.metrics.shed.Add(1)
 		return 0, ErrBusy
 	}
+	e.pending[epoch] = struct{}{}
 	e.metrics.received.Add(1)
 	return epoch, nil
 }
 
-// Wait blocks until the epoch's outcome is known or ctx expires.
+// Wait blocks until the epoch's outcome is known or ctx expires. Waiting on
+// an epoch the engine cannot resolve — never assigned, or already evicted
+// from the bounded outcome history — returns ErrUnknownEpoch immediately
+// instead of blocking until ctx expires.
 func (e *Engine) Wait(ctx context.Context, epoch uint64) (*Outcome, error) {
 	e.mu.Lock()
 	if out, ok := e.outcomes[epoch]; ok {
 		e.mu.Unlock()
 		return out, nil
+	}
+	if _, ok := e.pending[epoch]; !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d", ErrUnknownEpoch, epoch)
 	}
 	ch := make(chan *Outcome, 1)
 	e.waiters[epoch] = append(e.waiters[epoch], ch)
@@ -179,59 +194,50 @@ func (e *Engine) Wait(ctx context.Context, epoch uint64) (*Outcome, error) {
 	}
 }
 
-// solve runs one epoch on a pool worker: adapt under the deadline, publish
-// on success, fall back to the last good routing otherwise.
+// solve runs one epoch inline on its pool worker: adapt under a deadline
+// context derived from the engine root, publish on success, fall back to the
+// last good routing otherwise. A missed deadline (or Close) cancels the
+// context the solver polls, so the worker is freed promptly — there is no
+// detached adaptation goroutine racing a timer.
 func (e *Engine) solve(epoch uint64, d *demand.Demand) {
 	start := time.Now()
-	type result struct {
-		routing flow.Routing
-		err     error
-	}
-	done := make(chan result, 1)
-	e.solveWG.Add(1)
-	go func() {
-		defer e.solveWG.Done()
-		r, err := e.system.Adapt(d, e.cfg.Adapt)
-		done <- result{routing: r, err: err}
-	}()
-
-	var timeout <-chan time.Time
+	ctx := e.rootCtx
 	if e.cfg.SolveDeadline > 0 {
-		t := time.NewTimer(e.cfg.SolveDeadline)
-		defer t.Stop()
-		timeout = t.C
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.SolveDeadline)
+		defer cancel()
 	}
+	r, err := e.system.AdaptCtx(ctx, d, e.cfg.Adapt)
 
-	out := &Outcome{Epoch: epoch}
-	select {
-	case res := <-done:
-		out.Latency = time.Since(start)
-		if res.err != nil {
-			out.Fallback = true
-			out.Err = res.err.Error()
-			e.metrics.failed.Add(1)
-			e.metrics.fallbacks.Add(1)
-		} else {
-			cong := res.routing.MaxCongestion(e.cfg.Graph)
-			e.publish(&State{
-				Epoch:      epoch,
-				Demand:     d,
-				Routing:    res.routing,
-				Congestion: cong,
-				SolvedAt:   time.Now(),
-			})
-			out.OK = true
-			out.Congestion = cong
-			e.metrics.observeSolve(out.Latency, cong)
-		}
-	case <-timeout:
-		// The adaptation goroutine finishes on its own (buffered channel);
-		// its late result is simply discarded. The last good routing keeps
-		// serving.
-		out.Latency = time.Since(start)
+	out := &Outcome{Epoch: epoch, Latency: time.Since(start)}
+	switch {
+	case err == nil:
+		cong := r.MaxCongestion(e.cfg.Graph)
+		e.publish(&State{
+			Epoch:      epoch,
+			Demand:     d,
+			Routing:    r,
+			Congestion: cong,
+			SolvedAt:   time.Now(),
+		})
+		out.OK = true
+		out.Congestion = cong
+		e.metrics.observeSolve(out.Latency, cong)
+	case errors.Is(err, context.DeadlineExceeded):
 		out.Fallback = true
-		out.Err = fmt.Sprintf("solve exceeded deadline %v", e.cfg.SolveDeadline)
+		out.Err = fmt.Sprintf("solve canceled at deadline %v", e.cfg.SolveDeadline)
 		e.metrics.deadlineMissed.Add(1)
+		e.metrics.observeCanceled(out.Latency)
+		e.metrics.fallbacks.Add(1)
+	case errors.Is(err, context.Canceled):
+		out.Fallback = true
+		out.Err = "solve canceled: engine closing"
+		e.metrics.observeCanceled(out.Latency)
+		e.metrics.fallbacks.Add(1)
+	default:
+		out.Fallback = true
+		out.Err = err.Error()
+		e.metrics.failed.Add(1)
 		e.metrics.fallbacks.Add(1)
 	}
 	e.finish(out)
@@ -255,6 +261,7 @@ func (e *Engine) publish(s *State) {
 func (e *Engine) finish(out *Outcome) {
 	const keep = 128
 	e.mu.Lock()
+	delete(e.pending, out.Epoch)
 	e.outcomes[out.Epoch] = out
 	e.order = append(e.order, out.Epoch)
 	for len(e.order) > keep {
@@ -281,13 +288,15 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 	})
 }
 
-// Close stops accepting demands, drains every accepted epoch (solves run to
-// completion, including adaptation goroutines whose deadline already fired),
-// and returns.
+// Close stops accepting demands, cancels the root context so in-flight
+// solves abort at their next poll, drains the pool (already-queued epochs
+// run, observe the canceled context immediately, and record fallback
+// outcomes so their waiters are woken), and returns. Drain is prompt: no
+// solve survives Close.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	e.closed = true
 	e.mu.Unlock()
+	e.stop()
 	e.pool.Close()
-	e.solveWG.Wait()
 }

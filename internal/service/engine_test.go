@@ -3,12 +3,15 @@ package service
 import (
 	"bytes"
 	"context"
+	"errors"
 	"testing"
 	"time"
 
 	"sparseroute/internal/core"
 	"sparseroute/internal/demand"
+	"sparseroute/internal/graph"
 	"sparseroute/internal/graph/gen"
+	"sparseroute/internal/mcf"
 	"sparseroute/internal/oblivious"
 )
 
@@ -213,5 +216,164 @@ func TestEngineRestoredSystemCoversSamePairs(t *testing.T) {
 	defer e.Close()
 	if e.System().TotalPaths() != ps.TotalPaths() {
 		t.Fatal("engine must serve the provided system as-is")
+	}
+}
+
+// slowSolveEngine builds an engine over a hand-made two-path system where the
+// solver path is demand-selectable: a demand on (0,3) sees two candidate
+// variables and (with ExactThreshold 1) is forced onto an MWU solve sized to
+// run for minutes, while a demand on (0,1) sees one variable and solves with
+// the instant exact LP. That lets one test submit a deliberately slow epoch
+// followed by a fast one on the same engine.
+func slowSolveEngine(t *testing.T, deadline time.Duration) *Engine {
+	t.Helper()
+	g := graph.New(4)
+	a1 := g.AddUnitEdge(0, 1)
+	a2 := g.AddUnitEdge(1, 3)
+	b1 := g.AddUnitEdge(0, 2)
+	b2 := g.AddUnitEdge(2, 3)
+	ps := core.NewPathSystem(g)
+	for _, p := range []graph.Path{
+		{Src: 0, Dst: 3, EdgeIDs: []int{a1, a2}},
+		{Src: 0, Dst: 3, EdgeIDs: []int{b1, b2}},
+		{Src: 0, Dst: 1, EdgeIDs: []int{a1}},
+	} {
+		if err := ps.AddPath(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := New(Config{
+		Graph:         g,
+		System:        ps,
+		Workers:       1,
+		SolveDeadline: deadline,
+		Adapt:         &core.AdaptOptions{ExactThreshold: 1, MWU: mcf.Options{Iterations: 1 << 30}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestEngineCanceledSolveFreesWorker is the acceptance test for cancelable
+// solves: a slow epoch misses its deadline, the cancellation frees the single
+// pool worker, the immediately following epoch solves successfully, and Close
+// returns promptly because no detached adaptation goroutine survives.
+func TestEngineCanceledSolveFreesWorker(t *testing.T) {
+	e := slowSolveEngine(t, 100*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	slow := demand.New()
+	slow.Set(0, 3, 2)
+	epoch1, err := e.SubmitDemand(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Wait(ctx, epoch1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Fallback || out.OK {
+		t.Fatalf("slow epoch outcome %+v, want deadline fallback", out)
+	}
+	if got := e.Metrics().canceled.Value(); got != 1 {
+		t.Fatalf("solves_canceled=%d, want 1", got)
+	}
+	if got := e.Metrics().deadlineMissed.Value(); got != 1 {
+		t.Fatalf("solve_deadline_missed=%d, want 1", got)
+	}
+
+	// The worker must be free: the next epoch solves well within the
+	// deadline on the exact LP path.
+	fast := demand.New()
+	fast.Set(0, 1, 1)
+	epoch2, err := e.SubmitDemand(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = e.Wait(ctx, epoch2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK {
+		t.Fatalf("fast epoch outcome %+v, want success", out)
+	}
+	if st := e.Active(); st == nil || st.Epoch != epoch2 {
+		t.Fatalf("active state %+v, want epoch %d", st, epoch2)
+	}
+
+	// Close must not wait on any orphaned solve (the old design's detached
+	// goroutine would have burned ~2^30 MWU iterations here).
+	start := time.Now()
+	e.Close()
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("Close took %v; an orphaned solve survived", elapsed)
+	}
+}
+
+// TestEngineCloseCancelsInFlightSolve: Close aborts a running solve through
+// the root context even when no deadline is configured.
+func TestEngineCloseCancelsInFlightSolve(t *testing.T) {
+	e := slowSolveEngine(t, 0) // no deadline: only Close can stop the solve
+	slow := demand.New()
+	slow.Set(0, 3, 2)
+	epoch, err := e.SubmitDemand(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	e.Close()
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("Close took %v; in-flight solve was not canceled", elapsed)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := e.Wait(ctx, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Fallback {
+		t.Fatalf("outcome %+v, want close-canceled fallback", out)
+	}
+	if e.Metrics().canceled.Value() != 1 {
+		t.Fatal("solves_canceled not incremented by Close")
+	}
+}
+
+// TestEngineWaitUnknownEpoch: epoch 0, never-assigned epochs, and epochs
+// evicted from the bounded outcome history fail fast with ErrUnknownEpoch
+// instead of blocking until the caller's context expires.
+func TestEngineWaitUnknownEpoch(t *testing.T) {
+	e := testEngine(t, Config{Seed: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	if _, err := e.Wait(ctx, 0); !errors.Is(err, ErrUnknownEpoch) {
+		t.Fatalf("Wait(0): err=%v, want ErrUnknownEpoch", err)
+	}
+	if _, err := e.Wait(ctx, 42); !errors.Is(err, ErrUnknownEpoch) {
+		t.Fatalf("Wait(unassigned): err=%v, want ErrUnknownEpoch", err)
+	}
+
+	// Push the first epoch out of the 128-entry outcome history.
+	var last uint64
+	for i := 0; i < 130; i++ {
+		d := demand.New()
+		d.Set(0, 7, 1)
+		epoch, err := e.SubmitDemand(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Wait(ctx, epoch); err != nil {
+			t.Fatal(err)
+		}
+		last = epoch
+	}
+	if _, err := e.Wait(ctx, 1); !errors.Is(err, ErrUnknownEpoch) {
+		t.Fatalf("Wait(evicted): err=%v, want ErrUnknownEpoch", err)
+	}
+	if out, err := e.Wait(ctx, last); err != nil || !out.OK {
+		t.Fatalf("Wait(retained): %v %+v", err, out)
 	}
 }

@@ -16,7 +16,8 @@ import (
 // Server is the HTTP surface over an Engine.
 //
 //	POST /v1/demand        submit a demand epoch (serial.DemandJSON body);
-//	                       ?wait=1 blocks until the epoch resolves
+//	                       ?wait=1 (any strconv boolean) blocks until the
+//	                       epoch resolves; absent or ?wait=0 returns 202
 //	GET  /v1/paths         candidate paths + live rates for ?src=&dst=
 //	GET  /v1/routing       the full active routing
 //	POST /v1/snapshot      persist the path system to the snapshot file
@@ -67,6 +68,19 @@ type demandResponse struct {
 }
 
 func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
+	// Parse ?wait before submitting so a malformed value cannot consume an
+	// epoch. Absent means no wait; anything else must be a strconv boolean
+	// ("0"/"false" really means don't wait — previously any non-empty value,
+	// including wait=0, blocked on the solve).
+	wait := false
+	if wp := r.URL.Query().Get("wait"); wp != "" {
+		var err error
+		wait, err = strconv.ParseBool(wp)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "wait must be a boolean, got %q", wp)
+			return
+		}
+	}
 	d, err := serial.DecodeDemand(r.Body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -84,11 +98,17 @@ func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if r.URL.Query().Get("wait") == "" {
+	if !wait {
 		writeJSON(w, http.StatusAccepted, demandResponse{Epoch: epoch})
 		return
 	}
 	out, err := s.engine.Wait(r.Context(), epoch)
+	if errors.Is(err, ErrUnknownEpoch) {
+		// The outcome was evicted before we could wait on it (possible only
+		// under extreme epoch churn).
+		writeError(w, http.StatusGone, "%v", err)
+		return
+	}
 	if err != nil {
 		writeError(w, http.StatusGatewayTimeout, "epoch %d still solving: %v", epoch, err)
 		return

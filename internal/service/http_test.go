@@ -274,3 +274,39 @@ func TestServerConcurrentDemandAndReads(t *testing.T) {
 		t.Fatal("no epoch solved during the hammer run")
 	}
 }
+
+// TestServerWaitFlagParsing pins the ?wait semantics: absent or a strconv
+// false ("0", "false") returns 202 immediately, any strconv true blocks on
+// the solve, and a malformed value is a 400 that does NOT consume an epoch.
+func TestServerWaitFlagParsing(t *testing.T) {
+	_, e, ts := testServer(t, Config{Seed: 3}, "")
+	body := `{"entries":[{"u":0,"v":7,"amount":1}]}`
+
+	for _, q := range []string{"", "?wait=0", "?wait=false", "?wait=F"} {
+		code, resp := postJSON(t, ts.URL+"/v1/demand"+q, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("POST /v1/demand%s: code %d %v, want 202", q, code, resp)
+		}
+		if resp["solved"] == true {
+			t.Fatalf("POST /v1/demand%s waited for the solve: %v", q, resp)
+		}
+		if resp["epoch"].(float64) < 1 {
+			t.Fatalf("POST /v1/demand%s: missing epoch in %v", q, resp)
+		}
+	}
+	for _, q := range []string{"?wait=1", "?wait=true", "?wait=TRUE"} {
+		code, resp := postJSON(t, ts.URL+"/v1/demand"+q, body)
+		if code != http.StatusOK || resp["solved"] != true {
+			t.Fatalf("POST /v1/demand%s: code %d %v, want solved 200", q, code, resp)
+		}
+	}
+
+	received := e.Metrics().received.Value()
+	code, resp := postJSON(t, ts.URL+"/v1/demand?wait=yes", body)
+	if code != http.StatusBadRequest {
+		t.Fatalf("malformed wait: code %d %v, want 400", code, resp)
+	}
+	if got := e.Metrics().received.Value(); got != received {
+		t.Fatalf("malformed wait consumed an epoch: received %d -> %d", received, got)
+	}
+}

@@ -19,12 +19,14 @@ import (
 type Metrics struct {
 	vars *expvar.Map
 
-	received       expvar.Int // epochs accepted into the queue
-	solved         expvar.Int // epochs solved and published
-	failed         expvar.Int // epochs whose solve errored
-	deadlineMissed expvar.Int // epochs whose solve blew the deadline
-	fallbacks      expvar.Int // total epochs served by the stale routing
-	shed           expvar.Int // demands rejected by back-pressure
+	received       expvar.Int   // epochs accepted into the queue
+	solved         expvar.Int   // epochs solved and published
+	failed         expvar.Int   // epochs whose solve errored
+	deadlineMissed expvar.Int   // epochs whose solve blew the deadline
+	canceled       expvar.Int   // solves stopped mid-flight (deadline or Close)
+	cpuSaved       expvar.Float // estimated solver seconds not burned thanks to cancellation
+	fallbacks      expvar.Int   // total epochs served by the stale routing
+	shed           expvar.Int   // demands rejected by back-pressure
 	lastCongestion expvar.Float
 
 	mu   sync.Mutex
@@ -42,6 +44,8 @@ func newMetrics(e *Engine) *Metrics {
 	m.vars.Set("epochs_solved", &m.solved)
 	m.vars.Set("epochs_failed", &m.failed)
 	m.vars.Set("solve_deadline_missed", &m.deadlineMissed)
+	m.vars.Set("solves_canceled", &m.canceled)
+	m.vars.Set("solve_cpu_saved", &m.cpuSaved)
 	m.vars.Set("fallbacks", &m.fallbacks)
 	m.vars.Set("demands_shed", &m.shed)
 	m.vars.Set("last_congestion", &m.lastCongestion)
@@ -80,6 +84,22 @@ func (m *Metrics) observeSolve(latency time.Duration, congestion float64) {
 	m.lat.Push(latency.Seconds())
 	m.cong.Push(congestion)
 	m.mu.Unlock()
+}
+
+// observeCanceled records one solve stopped mid-flight by its context.
+// solve_cpu_saved accumulates a conservative estimate of the solver seconds
+// the cancellation avoided burning: the mean recent successful-solve latency
+// minus the time the canceled solve already spent (before cancelable solves,
+// an orphaned solve ran to completion on average that much longer). With no
+// latency history yet the estimate is zero.
+func (m *Metrics) observeCanceled(elapsed time.Duration) {
+	m.canceled.Add(1)
+	m.mu.Lock()
+	mean := stats.Mean(m.lat.Values())
+	m.mu.Unlock()
+	if saved := mean - elapsed.Seconds(); saved > 0 {
+		m.cpuSaved.Add(saved)
+	}
 }
 
 // window summarizes a sliding window as scrape-time quantiles.

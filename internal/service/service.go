@@ -50,8 +50,11 @@ type Config struct {
 	// QueueDepth bounds pending epochs before SubmitDemand sheds load with
 	// ErrBusy. Default 16.
 	QueueDepth int
-	// SolveDeadline bounds one epoch's solve; on expiry the engine keeps
-	// the last good routing and counts a fallback. 0 disables the deadline.
+	// SolveDeadline bounds one epoch's solve; on expiry the solve is
+	// canceled (the solvers poll their context, so the worker is freed
+	// promptly instead of burning CPU on a result nobody will use) and the
+	// engine keeps the last good routing, counting a fallback. 0 disables
+	// the deadline.
 	SolveDeadline time.Duration
 	// Adapt tunes the rate-adaptation solvers.
 	Adapt *core.AdaptOptions
@@ -82,3 +85,9 @@ var ErrBusy = errors.New("service: epoch queue full")
 
 // ErrClosed is returned by SubmitDemand after Close.
 var ErrClosed = errors.New("service: engine closed")
+
+// ErrUnknownEpoch is returned by Wait for an epoch the engine cannot resolve:
+// never assigned (0, or beyond the last submission) or already evicted from
+// the bounded outcome history. Waiting on such an epoch would otherwise block
+// until the caller's context expired.
+var ErrUnknownEpoch = errors.New("service: unknown epoch")

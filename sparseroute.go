@@ -13,7 +13,8 @@
 //     baselines);
 //   - the sampling constructions (R-sample, (R+λ)-sample, hop-scale union);
 //   - the adaptation step (exact LP or multiplicative-weights), fractional
-//     and integral (randomized rounding + local search);
+//     and integral (randomized rounding + local search), cancelable through
+//     a context (PathSystem.AdaptCtx and friends);
 //   - evaluation against the offline optimum, packet-level makespan
 //     simulation, and a traffic-engineering scenario runner.
 //
@@ -88,6 +89,19 @@ type (
 	EngineConfig = service.Config
 	// EngineState is one published epoch of an Engine.
 	EngineState = service.State
+	// EngineOutcome reports how one submitted epoch ended (Engine.Wait).
+	EngineOutcome = service.Outcome
+)
+
+// Engine errors, re-exported for errors.Is checks through the facade.
+var (
+	// ErrEngineBusy: the epoch queue is full (load shedding); retry later.
+	ErrEngineBusy = service.ErrBusy
+	// ErrEngineClosed: SubmitDemand after Close.
+	ErrEngineClosed = service.ErrClosed
+	// ErrUnknownEpoch: Wait on an epoch that was never assigned or whose
+	// outcome was already evicted from the bounded history.
+	ErrUnknownEpoch = service.ErrUnknownEpoch
 )
 
 // --- Topologies -----------------------------------------------------------
