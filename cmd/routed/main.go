@@ -7,9 +7,14 @@
 //	POST /v1/demand     push a demand-matrix epoch (?wait=1 blocks on solve)
 //	GET  /v1/paths      candidate paths + live sending rates for ?src=&dst=
 //	GET  /v1/routing    the full active routing
+//	POST /v1/links      topology event: {"fail":[...]}, {"restore":[...]},
+//	                    or declarative {"set":[...]}
+//	GET  /v1/links      current link state (version, failed edges, status)
 //	POST /v1/snapshot   persist the path system to the --snapshot file
-//	GET  /debug/vars    expvar metrics (epochs, latency quantiles, fallbacks)
-//	GET  /healthz       liveness
+//	GET  /debug/vars    expvar metrics (epochs, latency quantiles, fallbacks,
+//	                    failed_edges, recovery_resamples, ...)
+//	GET  /healthz       state machine: ok / degraded (failed edges, uncovered
+//	                    pairs) / 503 closed
 //
 // Reads are lock-free while epochs solve; a solve that fails or misses
 // --deadline leaves the last good routing serving (a fallback counter
@@ -20,12 +25,23 @@
 // in-flight solves for a prompt drain, writes a final snapshot when
 // --snapshot is set, and exits.
 //
+// Link failures do not restart the engine: a POST /v1/links prunes the
+// resident path system to the survivors, immediately republishes the active
+// routing renormalized off the dead edges, re-solves the demand, and — when
+// a pair's candidates all died but the survivor graph still connects it —
+// draws fresh recovery paths on the pruned topology (recovery resampling).
+// /healthz reports "degraded" until every edge is restored; snapshots taken
+// while degraded carry the failed-edge set and restore byte-identically.
+//
 // Example:
 //
 //	sparseroute topo -kind wan -n 24 -extra 36 -out topo.json
 //	routed -topo topo.json -router raecke -s 4 -snapshot sys.snap &
 //	curl -X POST 'localhost:8344/v1/demand?wait=1' -d '{"entries":[{"u":0,"v":9,"amount":2}]}'
 //	curl 'localhost:8344/v1/paths?src=0&dst=9'
+//	curl -X POST localhost:8344/v1/links -d '{"fail":[3,17]}'   # failure drill
+//	curl localhost:8344/healthz                                 # => degraded
+//	curl -X POST localhost:8344/v1/links -d '{"restore":[3,17]}'
 package main
 
 import (

@@ -310,3 +310,170 @@ func TestDaemonDeadlineCancelsSolve(t *testing.T) {
 		t.Fatal("solve_cpu_saved missing from /debug/vars")
 	}
 }
+
+// TestDaemonFailureDrill is the link-failure acceptance test: serve a
+// hypercube, drive demand, fail edges mid-traffic via POST /v1/links, and
+// check the degraded-mode contract — every still-connected pair stays routed
+// off the dead edges, /healthz reports degraded with the failed-edge list,
+// a snapshot taken while degraded restores to the identical failed-edge set
+// and path-system hash, and a restore event returns the daemon to ok.
+func TestDaemonFailureDrill(t *testing.T) {
+	dir := t.TempDir()
+	topo := filepath.Join(dir, "topo.json")
+	snap := filepath.Join(dir, "system.snapshot")
+
+	f, err := os.Create(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.EncodeGraph(f, gen.Hypercube(3)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	o, err := parseFlags([]string{
+		"-topo", topo, "-router", "valiant", "-s", "3", "-seed", "17",
+		"-workers", "2", "-snapshot", snap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, stop := startDaemon(t, o)
+
+	// Traffic before the failure.
+	resp, err := http.Post(url+"/v1/demand?wait=1", "application/json",
+		strings.NewReader(`{"entries":[{"u":0,"v":7,"amount":2},{"u":1,"v":6,"amount":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep := decodeBody(t, resp); ep["solved"] != true {
+		t.Fatalf("pre-failure epoch not solved: %v", ep)
+	}
+
+	// Fail two edges mid-traffic. A 3-cube is 3-edge-connected, so every
+	// pair stays connected and must stay routed.
+	resp, err = http.Post(url+"/v1/links", "application/json",
+		strings.NewReader(`{"fail":[0,5]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("link event status %d", resp.StatusCode)
+	}
+	link := decodeBody(t, resp)
+	if link["status"] != "degraded" || link["uncovered_pairs"].(float64) != 0 {
+		t.Fatalf("link event: %v", link)
+	}
+
+	// /healthz reports degraded with the failed-edge list.
+	resp, err = http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded healthz status %d (must keep serving)", resp.StatusCode)
+	}
+	h := decodeBody(t, resp)
+	if h["status"] != "degraded" {
+		t.Fatalf("healthz: %v", h)
+	}
+	edges := h["failed_edges"].([]any)
+	if len(edges) != 2 || edges[0].(float64) != 0 || edges[1].(float64) != 5 {
+		t.Fatalf("healthz failed_edges: %v", edges)
+	}
+
+	// Demand during the failure: solved, and no served path touches a dead
+	// edge. /v1/routing exposes the full routing with edge IDs.
+	resp, err = http.Post(url+"/v1/demand?wait=1", "application/json",
+		strings.NewReader(`{"entries":[{"u":0,"v":7,"amount":2},{"u":2,"v":5,"amount":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep := decodeBody(t, resp); ep["solved"] != true {
+		t.Fatalf("mid-failure epoch not solved: %v", ep)
+	}
+	resp, err = http.Get(url + "/v1/routing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	routing := decodeBody(t, resp)["routing"].(map[string]any)
+	for _, pr := range routing["pairs"].([]any) {
+		for _, p := range pr.(map[string]any)["paths"].([]any) {
+			for _, id := range p.(map[string]any)["edges"].([]any) {
+				if id.(float64) == 0 || id.(float64) == 5 {
+					t.Fatalf("mid-failure routing rides failed edge %v: %v", id, pr)
+				}
+			}
+		}
+	}
+
+	// Snapshot while degraded, remember the hash, kill the daemon.
+	hashDegraded, _ := pathSystemHashFromVars(t, url)
+	resp, err = http.Post(url+"/v1/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := decodeBody(t, resp); s["hash"] != hashDegraded {
+		t.Fatalf("snapshot hash %v != metrics hash %v", s["hash"], hashDegraded)
+	}
+	stop()
+
+	// The on-disk snapshot carries the failed-edge set.
+	sf, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := serial.DecodeSnapshot(sf)
+	sf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sd.FailedEdges) != 2 || sd.FailedEdges[0] != 0 || sd.FailedEdges[1] != 5 {
+		t.Fatalf("snapshot failed edges %v, want [0 5]", sd.FailedEdges)
+	}
+
+	// Restart from the degraded snapshot: identical hash, identical failed
+	// set, still reporting degraded.
+	if err := os.Remove(topo); err != nil {
+		t.Fatal(err)
+	}
+	url2, stop2 := startDaemon(t, o)
+	defer stop2()
+	hash2, _ := pathSystemHashFromVars(t, url2)
+	if hash2 != hashDegraded {
+		t.Fatalf("restored hash %s != degraded original %s", hash2, hashDegraded)
+	}
+	resp, err = http.Get(url2 + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = decodeBody(t, resp)
+	if h["status"] != "degraded" {
+		t.Fatalf("restored healthz: %v", h)
+	}
+
+	// Restore the links: health returns to ok and traffic flows.
+	resp, err = http.Post(url2+"/v1/links", "application/json",
+		strings.NewReader(`{"restore":[0,5]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link := decodeBody(t, resp); link["status"] != "ok" {
+		t.Fatalf("restore event: %v", link)
+	}
+	resp, err = http.Get(url2 + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := decodeBody(t, resp); h["status"] != "ok" {
+		t.Fatalf("healthz after restore: %v", h)
+	}
+	resp, err = http.Post(url2+"/v1/demand?wait=1", "application/json",
+		strings.NewReader(`{"entries":[{"u":3,"v":4,"amount":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep := decodeBody(t, resp); ep["solved"] != true {
+		t.Fatalf("post-restore epoch not solved: %v", ep)
+	}
+}

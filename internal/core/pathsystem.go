@@ -227,6 +227,27 @@ func (ps *PathSystem) WithoutEdges(failed map[int]bool) *PathSystem {
 	return out
 }
 
+// UncoveredPairs returns the pairs among `pairs` with no candidate in ps,
+// sorted. After a WithoutEdges prune this is exactly the set of pairs whose
+// pre-installed paths all died — the pairs a link-failure recovery pass must
+// resample (when the surviving graph still connects them) or report as
+// unservable.
+func (ps *PathSystem) UncoveredPairs(pairs []demand.Pair) []demand.Pair {
+	var out []demand.Pair
+	for _, p := range pairs {
+		if len(ps.paths[demand.MakePair(p.U, p.V)]) == 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
 // Merge adds every candidate of other into ps (multiplicities add). Both
 // systems must share the same graph.
 func (ps *PathSystem) Merge(other *PathSystem) error {

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sparseroute/internal/demand"
+	"sparseroute/internal/graph"
+	"sparseroute/internal/graph/gen"
+	"sparseroute/internal/oblivious"
+)
+
+// TestWithoutEdgesProperties drives random sampled systems through random
+// failure sets and checks the structural invariants pruning must preserve:
+// the survivor system validates against the same graph, no surviving path
+// touches a failed edge, pairs whose candidates all died vanish from Pairs()
+// (and are exactly UncoveredPairs of the original pair set), and pruning by
+// the empty set is the identity in size and coverage.
+func TestWithoutEdgesProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2026, 0xfa11))
+	for trial := 0; trial < 20; trial++ {
+		var g *graph.Graph
+		if trial%2 == 0 {
+			g = gen.Hypercube(3)
+		} else {
+			g = gen.Grid(3, 4)
+		}
+		router, err := oblivious.Build("spf", g, &oblivious.BuildOptions{Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := AllPairs(g.NumVertices())
+		ps, err := RSample(router, pairs, 1+rng.IntN(3), uint64(trial)*13+7)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		failed := map[int]bool{}
+		for id := 0; id < g.NumEdges(); id++ {
+			if rng.Float64() < 0.25 {
+				failed[id] = true
+			}
+		}
+		surv := ps.WithoutEdges(failed)
+
+		if err := surv.Validate(); err != nil {
+			t.Fatalf("trial %d: pruned system invalid: %v", trial, err)
+		}
+		for _, pr := range surv.Pairs() {
+			for _, p := range surv.Paths(pr.U, pr.V) {
+				for _, id := range p.EdgeIDs {
+					if failed[id] {
+						t.Fatalf("trial %d: surviving path uses failed edge %d", trial, id)
+					}
+				}
+			}
+			if len(surv.Paths(pr.U, pr.V)) == 0 {
+				t.Fatalf("trial %d: Pairs() lists zero-survivor pair %v", trial, pr)
+			}
+		}
+		// Pairs() shrinks by exactly the uncovered set.
+		uncovered := surv.UncoveredPairs(ps.Pairs())
+		if len(surv.Pairs())+len(uncovered) != len(ps.Pairs()) {
+			t.Fatalf("trial %d: %d survivors + %d uncovered != %d original pairs",
+				trial, len(surv.Pairs()), len(uncovered), len(ps.Pairs()))
+		}
+		for _, pr := range uncovered {
+			if surv.Covers(demand.SinglePair(pr.U, pr.V, 1)) {
+				t.Fatalf("trial %d: uncovered pair %v still covered", trial, pr)
+			}
+		}
+
+		// Identity pruning: same size, coverage, and per-pair multiplicity.
+		same := surv.WithoutEdges(nil)
+		if same.TotalPaths() != surv.TotalPaths() || len(same.Pairs()) != len(surv.Pairs()) {
+			t.Fatalf("trial %d: WithoutEdges(nil) changed the system", trial)
+		}
+	}
+}
+
+// TestMergeMultiplicityAfterPruning checks that Merge keeps multiplicity
+// accounting straight when the operands are pruned views: duplicates add up,
+// Unique dedups, and pruning the merged system equals merging the pruned
+// systems.
+func TestMergeMultiplicityAfterPruning(t *testing.T) {
+	g := gen.Ring(6)
+	mk := func(verts ...int) graph.Path {
+		t.Helper()
+		p, err := graph.PathFromVertices(g, verts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	short := mk(0, 1, 2)       // edges 0,1
+	long := mk(0, 5, 4, 3, 2)  // edges 5,4,3
+	hop := mk(3, 4)            // edge 3
+
+	cases := []struct {
+		name       string
+		a, b       []graph.Path
+		failed     map[int]bool
+		wantPaths  int // multiplicity of (0,2) after merge+prune
+		wantUnique int
+	}{
+		{"disjoint systems, no failures", []graph.Path{short}, []graph.Path{long}, nil, 2, 2},
+		{"duplicate path doubles multiplicity", []graph.Path{short}, []graph.Path{short}, nil, 2, 1},
+		{"failure kills one operand's copy", []graph.Path{short, short}, []graph.Path{long}, map[int]bool{1: true}, 1, 1},
+		{"failure kills everything", []graph.Path{short}, []graph.Path{long}, map[int]bool{1: true, 4: true}, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			build := func(paths []graph.Path) *PathSystem {
+				ps := NewPathSystem(g)
+				for _, p := range append(paths, hop) {
+					if err := ps.AddPath(p); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return ps
+			}
+			a, b := build(tc.a), build(tc.b)
+
+			// Merge then prune.
+			merged := NewPathSystem(g)
+			if err := merged.Merge(a); err != nil {
+				t.Fatal(err)
+			}
+			if err := merged.Merge(b); err != nil {
+				t.Fatal(err)
+			}
+			mp := merged.WithoutEdges(tc.failed)
+			if got := len(mp.Paths(0, 2)); got != tc.wantPaths {
+				t.Fatalf("merge-then-prune multiplicity=%d, want %d", got, tc.wantPaths)
+			}
+			if got := len(mp.Unique(0, 2)); got != tc.wantUnique {
+				t.Fatalf("merge-then-prune unique=%d, want %d", got, tc.wantUnique)
+			}
+
+			// Prune then merge gives the same counts.
+			pm := NewPathSystem(g)
+			if err := pm.Merge(a.WithoutEdges(tc.failed)); err != nil {
+				t.Fatal(err)
+			}
+			if err := pm.Merge(b.WithoutEdges(tc.failed)); err != nil {
+				t.Fatal(err)
+			}
+			if pm.TotalPaths() != mp.TotalPaths() {
+				t.Fatalf("prune/merge order changed totals: %d vs %d", pm.TotalPaths(), mp.TotalPaths())
+			}
+			// The pair (3,4) rides a never-failed edge and must survive merge
+			// with multiplicity 2 (one copy per operand).
+			if got := len(mp.Paths(3, 4)); got != 2 {
+				t.Fatalf("(3,4) multiplicity=%d, want 2", got)
+			}
+		})
+	}
+}
+
+func TestUncoveredPairsOrderingAndContent(t *testing.T) {
+	g := gen.Ring(5)
+	ps := NewPathSystem(g)
+	p, err := graph.PathFromVertices(g, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.AddPath(p); err != nil {
+		t.Fatal(err)
+	}
+	asked := []demand.Pair{{U: 3, V: 4}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 1}}
+	got := ps.UncoveredPairs(asked)
+	// (1,2) and its flip (2,1) are covered; the rest come back sorted.
+	want := []demand.Pair{{U: 0, V: 2}, {U: 3, V: 4}}
+	if len(got) != len(want) {
+		t.Fatalf("uncovered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("uncovered[%d]=%v, want %v", i, got[i], want[i])
+		}
+	}
+	if out := ps.UncoveredPairs(nil); len(out) != 0 {
+		t.Fatalf("UncoveredPairs(nil)=%v, want empty", out)
+	}
+}

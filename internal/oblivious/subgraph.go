@@ -1,0 +1,89 @@
+package oblivious
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"sparseroute/internal/flow"
+	"sparseroute/internal/graph"
+)
+
+// BuildOnSurvivors constructs the named oblivious routing on g minus the
+// failed edges, wrapped so that every sampled path carries g's original edge
+// IDs. This is the recovery-resampling primitive of the link-failure path:
+// when a pair's pre-installed candidates all die, fresh paths are drawn from
+// an oblivious router over the surviving subgraph, and the results drop
+// straight into a PathSystem over the original graph.
+//
+// Routers with structural requirements (e.g. valiant needs a hypercube) may
+// fail to build on an arbitrary subgraph; callers should fall back to "spf",
+// which builds on any graph and samples any pair the survivors still connect.
+func BuildOnSurvivors(name string, g *graph.Graph, failed map[int]bool, opt *BuildOptions) (Router, error) {
+	if len(failed) == 0 {
+		return Build(name, g, opt)
+	}
+	sub, idMap := graph.RemoveEdges(g, failed)
+	inner, err := Build(name, sub, opt)
+	if err != nil {
+		return nil, fmt.Errorf("oblivious: building %q on survivors: %w", name, err)
+	}
+	// Invert old->new into new->old so sampled subgraph paths can be
+	// translated back to original IDs.
+	toOrig := make([]int, sub.NumEdges())
+	for old, new_ := range idMap {
+		if new_ >= 0 {
+			toOrig[new_] = old
+		}
+	}
+	return &survivorRouter{inner: inner, orig: g, toOrig: toOrig}, nil
+}
+
+// survivorRouter adapts a router built over a pruned copy of the graph back
+// to the original edge-ID space. By construction every returned path avoids
+// the failed edges (they do not exist in the inner graph).
+type survivorRouter struct {
+	inner  Router
+	orig   *graph.Graph
+	toOrig []int
+}
+
+func (r *survivorRouter) Graph() *graph.Graph { return r.orig }
+
+func (r *survivorRouter) Sample(u, v int, rng *rand.Rand) (graph.Path, error) {
+	p, err := r.inner.Sample(u, v, rng)
+	if err != nil {
+		return graph.Path{}, err
+	}
+	return r.remap(p)
+}
+
+func (r *survivorRouter) Distribution(u, v int) ([]flow.WeightedPath, error) {
+	dist, err := r.inner.Distribution(u, v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]flow.WeightedPath, 0, len(dist))
+	for _, wp := range dist {
+		p, err := r.remap(wp.Path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, flow.WeightedPath{Path: p, Weight: wp.Weight})
+	}
+	return out, nil
+}
+
+func (r *survivorRouter) remap(p graph.Path) (graph.Path, error) {
+	ids := make([]int, len(p.EdgeIDs))
+	for i, id := range p.EdgeIDs {
+		if id < 0 || id >= len(r.toOrig) {
+			return graph.Path{}, fmt.Errorf("oblivious: subgraph path has unknown edge %d", id)
+		}
+		ids[i] = r.toOrig[id]
+	}
+	out := graph.Path{Src: p.Src, Dst: p.Dst, EdgeIDs: ids}
+	if err := out.Validate(r.orig); err != nil {
+		return graph.Path{}, fmt.Errorf("oblivious: remapped path invalid: %w", err)
+	}
+	return out, nil
+}

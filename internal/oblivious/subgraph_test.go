@@ -1,0 +1,94 @@
+package oblivious
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sparseroute/internal/graph/gen"
+)
+
+func TestBuildOnSurvivorsRemapsEdgeIDs(t *testing.T) {
+	g := gen.Grid(3, 3)
+	failed := map[int]bool{0: true, 3: true}
+	r, err := BuildOnSurvivors("spf", g, failed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Graph() != g {
+		t.Fatal("survivor router must report the original graph")
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for u := 0; u < g.NumVertices(); u++ {
+		for v := u + 1; v < g.NumVertices(); v++ {
+			p, err := r.Sample(u, v, rng)
+			if err != nil {
+				t.Fatalf("sample (%d,%d): %v", u, v, err)
+			}
+			// The remapped path validates against the ORIGINAL graph and
+			// avoids every failed edge.
+			if err := p.Validate(g); err != nil {
+				t.Fatalf("sample (%d,%d) invalid on original graph: %v", u, v, err)
+			}
+			for _, id := range p.EdgeIDs {
+				if failed[id] {
+					t.Fatalf("sample (%d,%d) uses failed edge %d", u, v, id)
+				}
+			}
+		}
+	}
+	// Distributions remap too.
+	dist, err := r.Distribution(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wp := range dist {
+		if err := wp.Path.Validate(g); err != nil {
+			t.Fatalf("distribution path invalid: %v", err)
+		}
+		for _, id := range wp.Path.EdgeIDs {
+			if failed[id] {
+				t.Fatalf("distribution path uses failed edge %d", id)
+			}
+		}
+	}
+}
+
+func TestBuildOnSurvivorsEmptyFailureSetIsPlainBuild(t *testing.T) {
+	g := gen.Hypercube(3)
+	r, err := BuildOnSurvivors("valiant", g, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.(*survivorRouter); ok {
+		t.Fatal("no failures should skip the remapping wrapper")
+	}
+}
+
+func TestBuildOnSurvivorsStructuredRouterFailsGracefully(t *testing.T) {
+	// Valiant requires a hypercube; pruning an edge breaks the structure and
+	// the build must error (callers fall back to spf) rather than panic.
+	g := gen.Hypercube(3)
+	if _, err := BuildOnSurvivors("valiant", g, map[int]bool{0: true}, nil); err == nil {
+		t.Fatal("valiant on a pruned hypercube should fail to build")
+	}
+	if _, err := BuildOnSurvivors("spf", g, map[int]bool{0: true}, nil); err != nil {
+		t.Fatalf("spf fallback should build on any survivor graph: %v", err)
+	}
+}
+
+func TestBuildOnSurvivorsDisconnectedPairErrors(t *testing.T) {
+	// Grid(1,3) is the path 0-1-2: removing edge (0,1) isolates vertex 0, so
+	// sampling (0,2) must error instead of fabricating a path.
+	g := gen.Grid(1, 3)
+	r, err := BuildOnSurvivors("spf", g, map[int]bool{0: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	if _, err := r.Sample(0, 2, rng); err == nil {
+		t.Fatal("sampling a disconnected pair should error")
+	}
+	if p, err := r.Sample(1, 2, rng); err != nil || len(p.EdgeIDs) != 1 {
+		t.Fatalf("connected pair should still sample: %v %v", p, err)
+	}
+}

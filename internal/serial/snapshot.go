@@ -6,14 +6,18 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"sort"
 
 	"sparseroute/internal/core"
 	"sparseroute/internal/graph"
 )
 
 // SnapshotVersion is the current snapshot wire-format version. Decoders
-// reject snapshots written by a newer format.
-const SnapshotVersion = 1
+// reject snapshots written by a newer format. Version 2 added the
+// failed-edge set, so an engine snapshotted while links are down restores
+// straight into the same degraded link state (v1 snapshots decode with no
+// failures).
+const SnapshotVersion = 2
 
 // Snapshot bundles everything the online routing service needs to restart
 // without redoing the offline phase: the topology, the sampled path system,
@@ -30,8 +34,14 @@ type Snapshot struct {
 	Seed uint64
 	// Graph is the topology the system routes on.
 	Graph *graph.Graph
-	// System is the sampled path system.
+	// System is the installed path system: the sampled candidates plus any
+	// recovery-resampled paths drawn after link failures. Paths through
+	// currently failed edges are stored too — a later restore of the link
+	// brings them back without resampling.
 	System *core.PathSystem
+	// FailedEdges is the sorted set of edge IDs that were failed when the
+	// snapshot was taken (v2; empty for v1 snapshots).
+	FailedEdges []int
 }
 
 // SnapshotJSON is the snapshot wire format.
@@ -42,12 +52,23 @@ type SnapshotJSON struct {
 	Seed    uint64         `json:"seed"`
 	Graph   GraphJSON      `json:"graph"`
 	System  PathSystemJSON `json:"system"`
+	Failed  []int          `json:"failed_edges,omitempty"`
 }
 
 // EncodeSnapshot writes s as JSON.
 func EncodeSnapshot(w io.Writer, s *Snapshot) error {
 	if s.Graph == nil || s.System == nil {
 		return fmt.Errorf("serial: snapshot needs a graph and a path system")
+	}
+	failed := append([]int(nil), s.FailedEdges...)
+	sort.Ints(failed)
+	for i, id := range failed {
+		if id < 0 || id >= s.Graph.NumEdges() {
+			return fmt.Errorf("serial: snapshot failed edge %d outside graph with %d edges", id, s.Graph.NumEdges())
+		}
+		if i > 0 && failed[i-1] == id {
+			return fmt.Errorf("serial: snapshot failed edge %d listed twice", id)
+		}
 	}
 	out := SnapshotJSON{
 		Version: SnapshotVersion,
@@ -56,6 +77,7 @@ func EncodeSnapshot(w io.Writer, s *Snapshot) error {
 		Seed:    s.Seed,
 		Graph:   GraphToJSON(s.Graph),
 		System:  PathSystemToJSON(s.System),
+		Failed:  failed,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -80,7 +102,12 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serial: snapshot system: %w", err)
 	}
-	return &Snapshot{Router: in.Router, R: in.R, Seed: in.Seed, Graph: g, System: ps}, nil
+	for _, id := range in.Failed {
+		if id < 0 || id >= g.NumEdges() {
+			return nil, fmt.Errorf("serial: snapshot failed edge %d outside graph with %d edges", id, g.NumEdges())
+		}
+	}
+	return &Snapshot{Router: in.Router, R: in.R, Seed: in.Seed, Graph: g, System: ps, FailedEdges: in.Failed}, nil
 }
 
 // PathSystemHash returns a deterministic FNV-1a digest of the system's

@@ -2,6 +2,7 @@ package serial
 
 import (
 	"bytes"
+	"encoding/json"
 	"math/rand/v2"
 	"strings"
 	"testing"
@@ -115,5 +116,78 @@ func TestPathSystemHashDistinguishesSystems(t *testing.T) {
 	}
 	if PathSystemHash(a) == PathSystemHash(b) {
 		t.Fatal("different systems should hash differently")
+	}
+}
+
+// TestSnapshotFailedEdgesRoundTrip covers the v2 wire format: the failed-edge
+// set survives the round trip sorted and deduped, v1 snapshots (no
+// failed_edges key) decode to an empty set, and out-of-range or duplicate
+// entries are rejected on both encode and decode.
+func TestSnapshotFailedEdgesRoundTrip(t *testing.T) {
+	g := gen.Hypercube(3)
+	router := oblivious.NewSPF(g)
+	ps, err := core.RSample(router, core.AllPairs(g.NumVertices()), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &Snapshot{Router: "spf", R: 2, Seed: 3, Graph: g, System: ps,
+		FailedEdges: []int{5, 0, 7}}
+
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.FailedEdges) != 3 || got.FailedEdges[0] != 0 || got.FailedEdges[1] != 5 || got.FailedEdges[2] != 7 {
+		t.Fatalf("failed edges %v, want [0 5 7]", got.FailedEdges)
+	}
+	if PathSystemHash(got.System) != PathSystemHash(ps) {
+		t.Fatal("hash not invariant with failed edges present")
+	}
+
+	// No failures: the key is omitted entirely (canonical form).
+	var clean bytes.Buffer
+	if err := EncodeSnapshot(&clean, &Snapshot{Router: "spf", R: 2, Seed: 3, Graph: g, System: ps}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.String(), "failed_edges") {
+		t.Fatal("empty failed-edge set should be omitted")
+	}
+
+	// A v1 document (version field 1, no failed_edges) still decodes.
+	v1 := strings.Replace(clean.String(), `"version": 2`, `"version": 1`, 1)
+	if v1 == clean.String() {
+		t.Fatal("version field not found for v1 rewrite")
+	}
+	old, err := DecodeSnapshot(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 decode: %v", err)
+	}
+	if len(old.FailedEdges) != 0 {
+		t.Fatalf("v1 snapshot has failed edges: %v", old.FailedEdges)
+	}
+
+	// Bad failed-edge sets are rejected.
+	for i, bad := range [][]int{{-1}, {g.NumEdges()}, {1, 1}} {
+		var b bytes.Buffer
+		if err := EncodeSnapshot(&b, &Snapshot{Router: "spf", R: 2, Seed: 3,
+			Graph: g, System: ps, FailedEdges: bad}); err == nil {
+			t.Fatalf("case %d: encode accepted bad failed edges %v", i, bad)
+		}
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["failed_edges"] = []int{99}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(bytes.NewReader(raw)); err == nil {
+		t.Fatal("decode accepted out-of-range failed edge")
 	}
 }

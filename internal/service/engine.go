@@ -20,9 +20,12 @@ import (
 // immutable once published; readers load it through an atomic pointer and
 // never take a lock.
 type State struct {
-	// Epoch is the submission sequence number (1-based).
+	// Epoch is the submission sequence number (1-based). Topology events
+	// consume epochs too: the interim renormalized routing published right
+	// after a link event and the full re-adapt that follows each get one.
 	Epoch uint64
-	// Demand is the matrix this routing adapts to.
+	// Demand is the matrix this routing adapts to (restricted to covered
+	// pairs when the link state leaves some demand unservable).
 	Demand *demand.Demand
 	// Routing is the adapted min-congestion routing over the candidates.
 	Routing flow.Routing
@@ -37,39 +40,98 @@ type State struct {
 type Outcome struct {
 	Epoch      uint64
 	OK         bool
-	Fallback   bool // solve failed or missed its deadline
+	Fallback   bool // every solve stage failed; the stale routing keeps serving
 	Err        string
 	Congestion float64
 	Latency    time.Duration
+	// Retries counts solve attempts beyond the first (the retry-with-backoff
+	// chain: configured adapt -> forced MWU -> renormalize over survivors).
+	Retries int
+	// Renormalized marks an epoch served by renormalizing the previous
+	// routing over surviving paths instead of a fresh solve — either the
+	// interim publish after a link event or the last retry stage.
+	Renormalized bool
+	// DroppedPairs counts demand pairs excluded from this epoch because the
+	// current link state leaves them with no candidate paths.
+	DroppedPairs int
+}
+
+// Health is the engine's liveness/readiness report: a three-state machine
+// (ok / degraded / closed) with the link-failure detail an operator needs to
+// act on a degraded signal.
+type Health struct {
+	// Status is "ok", "degraded" (at least one failed edge; still serving),
+	// or "closed" (after Close; HTTP maps it to 503).
+	Status string `json:"status"`
+	// Epoch is the active epoch (0 before the first solve).
+	Epoch uint64 `json:"epoch"`
+	// LinkVersion counts applied topology events.
+	LinkVersion uint64 `json:"link_version"`
+	// FailedEdges is the failed edge-ID set, sorted.
+	FailedEdges []int `json:"failed_edges"`
+	// UncoveredPairs counts installed pairs with zero surviving candidates.
+	UncoveredPairs int `json:"uncovered_pairs"`
+	// DegradedSeconds is cumulative wall time spent degraded.
+	DegradedSeconds float64 `json:"degraded_seconds"`
+	// LastOutcome reports the most recently finished epoch, if any —
+	// surfacing fallback status that a bare "ok" used to hide.
+	LastOutcome *Outcome `json:"last_outcome,omitempty"`
+}
+
+const (
+	HealthOK       = "ok"
+	HealthDegraded = "degraded"
+	HealthClosed   = "closed"
+)
+
+// adaptFunc is the solver invocation seam: production engines call
+// PathSystem.AdaptCtx; tests substitute deterministically failing stages to
+// exercise the retry chain.
+type adaptFunc func(ctx context.Context, ps *core.PathSystem, d *demand.Demand, opt *core.AdaptOptions) (flow.Routing, error)
+
+func defaultAdapt(ctx context.Context, ps *core.PathSystem, d *demand.Demand, opt *core.AdaptOptions) (flow.Routing, error) {
+	return ps.AdaptCtx(ctx, d, opt)
 }
 
 // Engine is the online routing engine. Construct with New, serve with
 // methods or the HTTP layer in this package, stop with Close.
 type Engine struct {
 	cfg     Config
-	system  *core.PathSystem
-	hash    uint64
 	metrics *Metrics
 	pool    *par.Pool
+	adapt   adaptFunc
 
 	active atomic.Pointer[State]
+	// links is the current link state: failed-edge set, pruned serving
+	// system, recovery paths, hash. Readers are lock-free; writers serialize
+	// on linkMu (see links.go).
+	links atomic.Pointer[linkState]
 
 	// rootCtx parents every epoch solve; stop cancels it so Close aborts
 	// in-flight solves instead of waiting for them to run to completion.
 	rootCtx context.Context
 	stop    context.CancelFunc
 
-	mu        sync.Mutex
-	nextEpoch uint64
-	outcomes  map[uint64]*Outcome
-	order     []uint64            // outcome eviction, oldest first
-	pending   map[uint64]struct{} // accepted epochs whose outcome is not in yet
-	waiters   map[uint64][]chan *Outcome
-	closed    bool
+	linkMu        sync.Mutex // serializes topology events + degraded-time accounting
+	degradedAccum time.Duration
+	degradedSince time.Time
+
+	mu          sync.Mutex
+	nextEpoch   uint64
+	outcomes    map[uint64]*Outcome
+	order       []uint64            // outcome eviction, oldest first
+	pending     map[uint64]struct{} // accepted epochs whose outcome is not in yet
+	waiters     map[uint64][]chan *Outcome
+	lastOutcome *Outcome
+	closed      bool
 }
 
 // New builds an engine: it samples the path system (offline phase) unless
-// cfg.System already carries one, then starts the bounded solver pool.
+// cfg.System already carries one, then starts the bounded solver pool. A
+// non-empty cfg.FailedEdges (typically from a snapshot taken while degraded)
+// starts the engine directly in the matching degraded link state — the
+// installed paths are served pruned, with no recovery resampling, so a
+// restore reproduces the snapshotted system hash exactly.
 func New(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Graph == nil {
@@ -94,12 +156,31 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:      cfg,
-		system:   system,
-		hash:     serial.PathSystemHash(system),
+		adapt:    defaultAdapt,
 		outcomes: make(map[uint64]*Outcome),
 		pending:  make(map[uint64]struct{}),
 		waiters:  make(map[uint64][]chan *Outcome),
 	}
+	failed := make(map[int]bool, len(cfg.FailedEdges))
+	for _, id := range cfg.FailedEdges {
+		if id < 0 || id >= cfg.Graph.NumEdges() {
+			return nil, fmt.Errorf("%w: %d (graph has %d edges)", ErrUnknownEdge, id, cfg.Graph.NumEdges())
+		}
+		failed[id] = true
+	}
+	ls := &linkState{
+		version:   1,
+		failed:    failed,
+		installed: system,
+		serving:   system,
+		hash:      serial.PathSystemHash(system),
+	}
+	if len(failed) > 0 {
+		ls.serving = system.WithoutEdges(failed)
+		e.degradedSince = time.Now()
+	}
+	ls.uncovered = ls.serving.UncoveredPairs(system.Pairs())
+	e.links.Store(ls)
 	e.rootCtx, e.stop = context.WithCancel(context.Background())
 	e.metrics = newMetrics(e)
 	e.pool = par.NewPool(cfg.Workers, cfg.QueueDepth)
@@ -107,8 +188,9 @@ func New(cfg Config) (*Engine, error) {
 }
 
 // Restore builds an engine from a snapshot stream: the offline phase is
-// skipped and the stored path system serves as-is. Sampling metadata from
-// the snapshot overrides the corresponding cfg fields.
+// skipped and the stored path system serves as-is, under the stored
+// failed-edge set. Sampling metadata from the snapshot overrides the
+// corresponding cfg fields.
 func Restore(r io.Reader, cfg Config) (*Engine, error) {
 	snap, err := serial.DecodeSnapshot(r)
 	if err != nil {
@@ -119,14 +201,22 @@ func Restore(r io.Reader, cfg Config) (*Engine, error) {
 	cfg.RouterName = snap.Router
 	cfg.R = snap.R
 	cfg.Seed = snap.Seed
+	cfg.FailedEdges = snap.FailedEdges
 	return New(cfg)
 }
 
-// System returns the immutable path system the engine serves.
-func (e *Engine) System() *core.PathSystem { return e.system }
+// System returns the path system the engine currently serves: the installed
+// candidates pruned to those avoiding every failed edge. Lock-free.
+func (e *Engine) System() *core.PathSystem { return e.links.Load().serving }
 
-// Hash returns the canonical path-system digest (see serial.PathSystemHash).
-func (e *Engine) Hash() uint64 { return e.hash }
+// InstalledSystem returns the full installed path system — startup sample
+// plus recovery paths, unpruned. Lock-free.
+func (e *Engine) InstalledSystem() *core.PathSystem { return e.links.Load().installed }
+
+// Hash returns the canonical digest of the installed path system (see
+// serial.PathSystemHash). It changes only when recovery resampling installs
+// fresh paths, never on pure fail/restore events.
+func (e *Engine) Hash() uint64 { return e.links.Load().hash }
 
 // Metrics returns the engine's metrics registry.
 func (e *Engine) Metrics() *Metrics { return e.metrics }
@@ -135,10 +225,46 @@ func (e *Engine) Metrics() *Metrics { return e.metrics }
 // epoch. Lock-free.
 func (e *Engine) Active() *State { return e.active.Load() }
 
+// Closed reports whether Close has been called.
+func (e *Engine) Closed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+// Health reports the engine's state machine: closed beats degraded beats ok.
+func (e *Engine) Health() *Health {
+	ls := e.links.Load()
+	h := &Health{
+		Status:          HealthOK,
+		LinkVersion:     ls.version,
+		FailedEdges:     ls.failedSorted(),
+		UncoveredPairs:  len(ls.uncovered),
+		DegradedSeconds: e.DegradedSeconds(),
+	}
+	if st := e.Active(); st != nil {
+		h.Epoch = st.Epoch
+	}
+	e.mu.Lock()
+	h.LastOutcome = e.lastOutcome
+	closed := e.closed
+	e.mu.Unlock()
+	switch {
+	case closed:
+		h.Status = HealthClosed
+	case ls.degraded():
+		h.Status = HealthDegraded
+	}
+	return h
+}
+
 // SubmitDemand validates d, assigns it the next epoch number, and enqueues
 // its solve. It returns ErrBusy when the queue is full (load shedding) and
-// ErrClosed after Close. The solve itself runs asynchronously; use Wait to
-// observe its outcome.
+// ErrClosed after Close. Demands on pairs that were never installed are
+// rejected; demands on installed pairs whose candidates are currently dead
+// are accepted and served degraded (the dead pairs are dropped at solve
+// time and counted in the outcome). The solve itself runs asynchronously;
+// use Wait to observe its outcome.
 func (e *Engine) SubmitDemand(d *demand.Demand) (uint64, error) {
 	if len(d.Support()) == 0 {
 		return 0, fmt.Errorf("service: empty demand")
@@ -149,7 +275,7 @@ func (e *Engine) SubmitDemand(d *demand.Demand) (uint64, error) {
 			return 0, fmt.Errorf("service: demand pair %v outside graph with %d vertices", p, n)
 		}
 	}
-	if !e.system.Covers(d) {
+	if !e.links.Load().installed.Covers(d) {
 		return 0, fmt.Errorf("service: demand has pairs with no candidate paths")
 	}
 	e.mu.Lock()
@@ -196,9 +322,10 @@ func (e *Engine) Wait(ctx context.Context, epoch uint64) (*Outcome, error) {
 
 // solve runs one epoch inline on its pool worker: adapt under a deadline
 // context derived from the engine root, publish on success, fall back to the
-// last good routing otherwise. A missed deadline (or Close) cancels the
-// context the solver polls, so the worker is freed promptly — there is no
-// detached adaptation goroutine racing a timer.
+// last good routing otherwise. The adaptation itself is a bounded
+// retry-with-backoff chain (see adaptWithRetry); a missed deadline (or
+// Close) cancels the context the solvers poll, so the worker is freed
+// promptly with no further retries.
 func (e *Engine) solve(epoch uint64, d *demand.Demand) {
 	start := time.Now()
 	ctx := e.rootCtx
@@ -207,15 +334,31 @@ func (e *Engine) solve(epoch uint64, d *demand.Demand) {
 		ctx, cancel = context.WithTimeout(ctx, e.cfg.SolveDeadline)
 		defer cancel()
 	}
-	r, err := e.system.AdaptCtx(ctx, d, e.cfg.Adapt)
+	ls := e.links.Load()
+	out := &Outcome{Epoch: epoch}
+	served := d
+	if len(ls.failed) > 0 && !ls.serving.Covers(d) {
+		served = d.Restrict(func(p demand.Pair) bool {
+			return len(ls.serving.Unique(p.U, p.V)) > 0
+		})
+		out.DroppedPairs = d.SupportSize() - served.SupportSize()
+	}
 
-	out := &Outcome{Epoch: epoch, Latency: time.Since(start)}
+	var r flow.Routing
+	var err error
+	if served.SupportSize() == 0 {
+		err = fmt.Errorf("service: no demand pair has surviving candidate paths")
+	} else {
+		r, err = e.adaptWithRetry(ctx, ls, served, out)
+	}
+
+	out.Latency = time.Since(start)
 	switch {
 	case err == nil:
 		cong := r.MaxCongestion(e.cfg.Graph)
 		e.publish(&State{
 			Epoch:      epoch,
-			Demand:     d,
+			Demand:     served,
 			Routing:    r,
 			Congestion: cong,
 			SolvedAt:   time.Now(),
@@ -243,6 +386,71 @@ func (e *Engine) solve(epoch uint64, d *demand.Demand) {
 	e.finish(out)
 }
 
+// adaptWithRetry is the bounded retry chain around one epoch's adaptation:
+//
+//  1. the configured adapt pipeline (exact LP preferred, MWU fallback);
+//  2. a forced-MWU solve with default solver options, after a backoff —
+//     different code path, different numerics;
+//  3. the previous routing renormalized over surviving candidates — no
+//     solver at all, always well-defined while coverage holds.
+//
+// A context cancellation (deadline or Close) stops the chain immediately:
+// retrying a canceled solve would only burn the worker. If every stage
+// fails the caller falls back to last-known-good (the published routing
+// stays serving). Retries beyond the first attempt are counted in
+// out.Retries and the solve_retries metric.
+func (e *Engine) adaptWithRetry(ctx context.Context, ls *linkState, d *demand.Demand, out *Outcome) (flow.Routing, error) {
+	r, err := e.adapt(ctx, ls.serving, d, e.cfg.Adapt)
+	if err == nil || ctx.Err() != nil || e.cfg.SolveRetries < 0 {
+		return r, err
+	}
+	firstErr := err
+
+	retry := func(stage int) bool {
+		if out.Retries >= e.cfg.SolveRetries || !e.backoff(ctx, stage) {
+			return false
+		}
+		out.Retries++
+		e.metrics.solveRetries.Add(1)
+		return true
+	}
+
+	// Stage 2: force the MWU solver with default options.
+	if retry(0) {
+		mwu := core.AdaptOptions{ExactThreshold: -1}
+		if r, err = e.adapt(ctx, ls.serving, d, &mwu); err == nil || ctx.Err() != nil {
+			return r, err
+		}
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+
+	// Stage 3: renormalize the previous routing over surviving paths.
+	if st := e.active.Load(); st != nil && retry(1) {
+		out.Renormalized = true
+		return renormalizeOverSurvivors(ls, st.Routing, d), nil
+	}
+	return nil, firstErr
+}
+
+// backoff sleeps the stage's share of the exponential backoff schedule,
+// returning false when ctx fires first.
+func (e *Engine) backoff(ctx context.Context, stage int) bool {
+	d := e.cfg.RetryBackoff << stage
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // publish installs s as the active state unless a newer epoch already won
 // the race (workers > 1 can complete out of order).
 func (e *Engine) publish(s *State) {
@@ -268,6 +476,7 @@ func (e *Engine) finish(out *Outcome) {
 		delete(e.outcomes, e.order[0])
 		e.order = e.order[1:]
 	}
+	e.lastOutcome = out
 	chs := e.waiters[out.Epoch]
 	delete(e.waiters, out.Epoch)
 	e.mu.Unlock()
@@ -276,15 +485,19 @@ func (e *Engine) finish(out *Outcome) {
 	}
 }
 
-// WriteSnapshot encodes the engine's topology, path system and sampling
-// metadata, so a future engine can Restore without resampling.
+// WriteSnapshot encodes the engine's topology, installed path system
+// (startup sample plus recovery paths), failed-edge set, and sampling
+// metadata, so a future engine can Restore straight into the same link
+// state without resampling.
 func (e *Engine) WriteSnapshot(w io.Writer) error {
+	ls := e.links.Load()
 	return serial.EncodeSnapshot(w, &serial.Snapshot{
-		Router: e.cfg.RouterName,
-		R:      e.cfg.R,
-		Seed:   e.cfg.Seed,
-		Graph:  e.cfg.Graph,
-		System: e.system,
+		Router:      e.cfg.RouterName,
+		R:           e.cfg.R,
+		Seed:        e.cfg.Seed,
+		Graph:       e.cfg.Graph,
+		System:      ls.installed,
+		FailedEdges: ls.failedSorted(),
 	})
 }
 

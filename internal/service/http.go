@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -20,9 +21,13 @@ import (
 //	                       epoch resolves; absent or ?wait=0 returns 202
 //	GET  /v1/paths         candidate paths + live rates for ?src=&dst=
 //	GET  /v1/routing       the full active routing
+//	POST /v1/links         apply a topology event: {"fail":[ids]},
+//	                       {"restore":[ids]}, or {"set":[ids]} (replace)
+//	GET  /v1/links         the current link state
 //	POST /v1/snapshot      persist the path system to the snapshot file
 //	GET  /debug/vars       expvar metrics
-//	GET  /healthz          liveness
+//	GET  /healthz          ok / degraded (failed edges, uncovered pairs) /
+//	                       503 closed, plus the last epoch outcome
 type Server struct {
 	engine       *Engine
 	snapshotPath string
@@ -36,6 +41,8 @@ func NewServer(e *Engine, snapshotPath string) *Server {
 	s.mux.HandleFunc("POST /v1/demand", s.handleDemand)
 	s.mux.HandleFunc("GET /v1/paths", s.handlePaths)
 	s.mux.HandleFunc("GET /v1/routing", s.handleRouting)
+	s.mux.HandleFunc("POST /v1/links", s.handleLinks)
+	s.mux.HandleFunc("GET /v1/links", s.handleLinksGet)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.mux.Handle("GET /debug/vars", e.Metrics())
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -59,12 +66,15 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 
 // demandResponse is the POST /v1/demand reply.
 type demandResponse struct {
-	Epoch      uint64  `json:"epoch"`
-	Solved     bool    `json:"solved"`
-	Fallback   bool    `json:"fallback,omitempty"`
-	Err        string  `json:"err,omitempty"`
-	Congestion float64 `json:"congestion,omitempty"`
-	LatencyMS  float64 `json:"latency_ms,omitempty"`
+	Epoch        uint64  `json:"epoch"`
+	Solved       bool    `json:"solved"`
+	Fallback     bool    `json:"fallback,omitempty"`
+	Err          string  `json:"err,omitempty"`
+	Congestion   float64 `json:"congestion,omitempty"`
+	LatencyMS    float64 `json:"latency_ms,omitempty"`
+	Retries      int     `json:"retries,omitempty"`
+	Renormalized bool    `json:"renormalized,omitempty"`
+	DroppedPairs int     `json:"dropped_pairs,omitempty"`
 }
 
 func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
@@ -114,12 +124,15 @@ func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, demandResponse{
-		Epoch:      out.Epoch,
-		Solved:     out.OK,
-		Fallback:   out.Fallback,
-		Err:        out.Err,
-		Congestion: out.Congestion,
-		LatencyMS:  float64(out.Latency.Microseconds()) / 1000,
+		Epoch:        out.Epoch,
+		Solved:       out.OK,
+		Fallback:     out.Fallback,
+		Err:          out.Err,
+		Congestion:   out.Congestion,
+		LatencyMS:    float64(out.Latency.Microseconds()) / 1000,
+		Retries:      out.Retries,
+		Renormalized: out.Renormalized,
+		DroppedPairs: out.DroppedPairs,
 	})
 }
 
@@ -153,6 +166,11 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 	}
 	candidates := s.engine.System().Unique(src, dst)
 	if len(candidates) == 0 {
+		if len(s.engine.InstalledSystem().Unique(src, dst)) > 0 {
+			writeError(w, http.StatusNotFound,
+				"all candidate paths for pair (%d,%d) are down (failed edges)", src, dst)
+			return
+		}
 		writeError(w, http.StatusNotFound, "no candidate paths for pair (%d,%d)", src, dst)
 		return
 	}
@@ -223,24 +241,118 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	var epoch uint64
-	if st := s.engine.Active(); st != nil {
-		epoch = st.Epoch
+// linksRequest is the POST /v1/links body. Exactly one of Set, or any
+// combination of Fail/Restore, may be used per event.
+type linksRequest struct {
+	Fail    []int `json:"fail"`
+	Restore []int `json:"restore"`
+	Set     []int `json:"set"`
+}
+
+// linksResponse reports the applied (or current) link state.
+type linksResponse struct {
+	Version        uint64 `json:"version"`
+	FailedEdges    []int  `json:"failed_edges"`
+	UncoveredPairs int    `json:"uncovered_pairs"`
+	RecoveredPairs int    `json:"recovered_pairs,omitempty"`
+	RecoveryPaths  int    `json:"recovery_paths,omitempty"`
+	Status         string `json:"status"`
+	Hash           string `json:"hash"`
+}
+
+func (s *Server) linksJSON(u *LinkUpdate) linksResponse {
+	status := HealthOK
+	if u.Degraded {
+		status = HealthDegraded
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": epoch})
+	return linksResponse{
+		Version:        u.Version,
+		FailedEdges:    u.FailedEdges,
+		UncoveredPairs: u.UncoveredPairs,
+		RecoveredPairs: u.RecoveredPairs,
+		RecoveryPaths:  u.RecoveryPaths,
+		Status:         status,
+		Hash:           fmt.Sprintf("%016x", s.engine.Hash()),
+	}
+}
+
+func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request) {
+	var req linksRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding link event: %v", err)
+		return
+	}
+	if req.Set != nil && (req.Fail != nil || req.Restore != nil) {
+		writeError(w, http.StatusBadRequest, "use either set or fail/restore, not both")
+		return
+	}
+	if req.Set == nil && req.Fail == nil && req.Restore == nil {
+		writeError(w, http.StatusBadRequest, "link event needs fail, restore, or set")
+		return
+	}
+	var update *LinkUpdate
+	var err error
+	if req.Set != nil {
+		update, err = s.engine.SetLinkState(req.Set)
+	} else {
+		update, err = s.engine.UpdateLinks(req.Fail, req.Restore)
+	}
+	switch {
+	case errors.Is(err, ErrUnknownEdge):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.linksJSON(update))
+}
+
+func (s *Server) handleLinksGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.linksJSON(s.engine.Links()))
+}
+
+// handleHealth serves the engine's state machine: 200 "ok", 200 "degraded"
+// (still serving, with the failed-edge list and uncovered-pair count an
+// operator needs), or 503 "closed" once the engine stops accepting work. The
+// last epoch outcome is surfaced so a fallback-serving engine is visible
+// here rather than hiding behind an unconditional "ok".
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := s.engine.Health()
+	code := http.StatusOK
+	if h.Status == HealthClosed {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 // SnapshotToFile atomically writes the engine's snapshot to path (temp file
-// + rename), returning the byte count.
+// + rename), returning the byte count. On any error after the temp file is
+// created — write, stat, close, or rename — the temp file is removed so
+// failed snapshots never litter the directory.
 func (e *Engine) SnapshotToFile(path string) (int64, error) {
+	return writeFileAtomic(path, e.WriteSnapshot)
+}
+
+// writeFileAtomic writes via a temp file in path's directory and renames it
+// into place, removing the temp file on every failure path.
+func writeFileAtomic(path string, write func(io.Writer) error) (n int64, err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".snapshot-*")
 	if err != nil {
 		return 0, err
 	}
-	defer os.Remove(tmp.Name())
-	if err := e.WriteSnapshot(tmp); err != nil {
+	name := tmp.Name()
+	renamed := false
+	defer func() {
+		if !renamed {
+			os.Remove(name)
+		}
+	}()
+	if err := write(tmp); err != nil {
 		tmp.Close()
 		return 0, err
 	}
@@ -252,8 +364,9 @@ func (e *Engine) SnapshotToFile(path string) (int64, error) {
 	if err := tmp.Close(); err != nil {
 		return 0, err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := os.Rename(name, path); err != nil {
 		return 0, err
 	}
+	renamed = true
 	return info.Size(), nil
 }

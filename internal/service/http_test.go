@@ -310,3 +310,177 @@ func TestServerWaitFlagParsing(t *testing.T) {
 		t.Fatalf("malformed wait consumed an epoch: received %d -> %d", received, got)
 	}
 }
+
+func TestServerLinksEndpoint(t *testing.T) {
+	_, e, ts := testServer(t, Config{Seed: 11}, "")
+
+	// Baseline: GET reports version 1, ok, no failures.
+	code, body := getJSON(t, ts.URL+"/v1/links")
+	if code != http.StatusOK || body["status"] != "ok" || body["version"].(float64) != 1 {
+		t.Fatalf("initial links: %d %v", code, body)
+	}
+	hash0 := body["hash"]
+
+	// Fail an edge: degraded, version bumped, edge listed.
+	code, body = postJSON(t, ts.URL+"/v1/links", `{"fail":[0]}`)
+	if code != http.StatusOK || body["status"] != "degraded" {
+		t.Fatalf("fail event: %d %v", code, body)
+	}
+	if body["version"].(float64) != 2 {
+		t.Fatalf("version %v, want 2", body["version"])
+	}
+	edges, _ := body["failed_edges"].([]any)
+	if len(edges) != 1 || edges[0].(float64) != 0 {
+		t.Fatalf("failed_edges %v", body["failed_edges"])
+	}
+
+	// Restore via set (declarative empty set): back to ok.
+	code, body = postJSON(t, ts.URL+"/v1/links", `{"set":[]}`)
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("set event: %d %v", code, body)
+	}
+	if body["uncovered_pairs"].(float64) != 0 {
+		t.Fatalf("uncovered after restore: %v", body)
+	}
+	if body["hash"] == "" || hash0 == "" {
+		t.Fatal("hash missing from links response")
+	}
+
+	// Malformed bodies and unknown edges are 400s.
+	for _, bad := range []string{
+		`{`,                      // not JSON
+		`{}`,                     // no directive at all
+		`{"set":[1],"fail":[2]}`, // set is exclusive
+		`{"fail":[99999]}`,       // unknown edge
+		`{"restore":[-1]}`,       // unknown edge
+	} {
+		if code, body := postJSON(t, ts.URL+"/v1/links", bad); code != http.StatusBadRequest {
+			t.Fatalf("body %q: code %d %v, want 400", bad, code, body)
+		}
+	}
+
+	// A closed engine answers 503.
+	e.Close()
+	if code, _ := postJSON(t, ts.URL+"/v1/links", `{"fail":[1]}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("closed engine link event: code %d, want 503", code)
+	}
+}
+
+func TestServerHealthStateMachine(t *testing.T) {
+	_, e, ts := testServer(t, Config{Seed: 11}, "")
+
+	code, h := getJSON(t, ts.URL+"/healthz")
+	if code != http.StatusOK || h["status"] != "ok" {
+		t.Fatalf("healthz ok: %d %v", code, h)
+	}
+
+	// Prime an epoch so the health report carries a last outcome.
+	if code, body := postJSON(t, ts.URL+"/v1/demand?wait=1", `{"entries":[{"u":0,"v":7,"amount":1}]}`); code != http.StatusOK {
+		t.Fatalf("demand: %d %v", code, body)
+	}
+
+	// Degraded surfaces the failed-edge list and stays 200 (still serving).
+	if _, err := e.FailEdges(0); err != nil {
+		t.Fatal(err)
+	}
+	code, h = getJSON(t, ts.URL+"/healthz")
+	if code != http.StatusOK || h["status"] != "degraded" {
+		t.Fatalf("healthz degraded: %d %v", code, h)
+	}
+	if edges, _ := h["failed_edges"].([]any); len(edges) != 1 || edges[0].(float64) != 0 {
+		t.Fatalf("healthz failed_edges: %v", h["failed_edges"])
+	}
+	// The link event published an interim renormalized epoch (empty demand,
+	// but the outcome is recorded), so last_outcome is present.
+	if h["last_outcome"] == nil {
+		t.Fatalf("healthz missing last_outcome: %v", h)
+	}
+
+	// Closed answers 503 so load balancers stop routing to the process.
+	e.Close()
+	code, h = getJSON(t, ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable || h["status"] != "closed" {
+		t.Fatalf("healthz closed: %d %v", code, h)
+	}
+}
+
+func TestWriteFileAtomicCleansTempOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "snap")
+
+	leftovers := func() []string {
+		t.Helper()
+		matches, err := filepath.Glob(filepath.Join(dir, ".snapshot-*"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return matches
+	}
+
+	// Failing writer: error propagates, temp file removed.
+	wantErr := fmt.Errorf("injected write failure")
+	if _, err := writeFileAtomic(target, func(io.Writer) error { return wantErr }); err != wantErr {
+		t.Fatalf("err=%v, want injected failure", err)
+	}
+	if l := leftovers(); len(l) != 0 {
+		t.Fatalf("temp files left after write failure: %v", l)
+	}
+	if _, err := os.Stat(target); !os.IsNotExist(err) {
+		t.Fatalf("target exists after failed write: %v", err)
+	}
+
+	// Rename failure (target is a non-empty directory): temp file removed.
+	blocked := filepath.Join(dir, "blocked")
+	if err := os.MkdirAll(filepath.Join(blocked, "child"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeFileAtomic(blocked, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	}); err == nil {
+		t.Fatal("rename onto non-empty directory succeeded")
+	}
+	if l := leftovers(); len(l) != 0 {
+		t.Fatalf("temp files left after rename failure: %v", l)
+	}
+
+	// CreateTemp failure (parent is a file, not a directory): clean error.
+	notDir := filepath.Join(dir, "file")
+	if err := os.WriteFile(notDir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeFileAtomic(filepath.Join(notDir, "snap"), func(io.Writer) error { return nil }); err == nil {
+		t.Fatal("CreateTemp under a file succeeded")
+	}
+
+	// The success path still works and leaves exactly the target behind.
+	n, err := writeFileAtomic(target, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	})
+	if err != nil || n != int64(len("payload")) {
+		t.Fatalf("success path: n=%d err=%v", n, err)
+	}
+	if l := leftovers(); len(l) != 0 {
+		t.Fatalf("temp files left after success: %v", l)
+	}
+	got, err := os.ReadFile(target)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("target content %q err=%v", got, err)
+	}
+}
+
+func TestEngineSnapshotToFileFailedEngineWrite(t *testing.T) {
+	// The engine-level wrapper cleans up too when the snapshot encoder fails
+	// mid-write because the engine is already closed.
+	_, e, _ := testServer(t, Config{Seed: 11}, "")
+	dir := t.TempDir()
+	e.Close()
+	if _, err := e.SnapshotToFile(filepath.Join(dir, "snap")); err == nil {
+		t.Skip("closed engine still snapshots; cleanup covered by TestWriteFileAtomicCleansTempOnFailure")
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, ".snapshot-*"))
+	if len(matches) != 0 {
+		t.Fatalf("temp files left: %v", matches)
+	}
+}

@@ -1,0 +1,419 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sparseroute/internal/core"
+	"sparseroute/internal/demand"
+	"sparseroute/internal/flow"
+	"sparseroute/internal/graph"
+	"sparseroute/internal/oblivious"
+	"sparseroute/internal/serial"
+)
+
+// linkState is one published version of the failed-edge set and everything
+// derived from it. Like State it is immutable once published: readers load
+// it through an atomic pointer and never take a lock; writers build a fresh
+// value under linkMu and swap it in.
+type linkState struct {
+	// version counts applied topology events, starting at 1.
+	version uint64
+	// failed is the failed edge-ID set. Never mutated after publish.
+	failed map[int]bool
+	// installed is the full path system: the startup sample plus every
+	// recovery-resampled path accumulated since. Paths through currently
+	// failed edges stay installed (restoring the link brings them back
+	// without resampling); only serving is pruned.
+	installed *core.PathSystem
+	// serving is installed.WithoutEdges(failed): the candidates adaptation
+	// and path lookups use.
+	serving *core.PathSystem
+	// hash is the canonical digest of installed (see serial.PathSystemHash).
+	hash uint64
+	// uncovered lists the installed pairs with zero surviving candidates
+	// after pruning and recovery resampling — under the R-sample's path
+	// diversity this is almost always exactly the pairs the surviving graph
+	// disconnects.
+	uncovered []demand.Pair
+}
+
+// failedSorted returns the failed edge IDs sorted ascending (never nil).
+func (ls *linkState) failedSorted() []int {
+	out := make([]int, 0, len(ls.failed))
+	for id := range ls.failed {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// degraded reports whether the link state is impaired at all.
+func (ls *linkState) degraded() bool { return len(ls.failed) > 0 }
+
+// LinkUpdate reports one applied topology event.
+type LinkUpdate struct {
+	// Version is the link-state version after the event.
+	Version uint64
+	// FailedEdges is the resulting failed set, sorted.
+	FailedEdges []int
+	// UncoveredPairs counts installed pairs left with zero candidates.
+	UncoveredPairs int
+	// RecoveredPairs counts pairs whose coverage was restored by recovery
+	// resampling during this event.
+	RecoveredPairs int
+	// RecoveryPaths counts the fresh paths drawn during this event.
+	RecoveryPaths int
+	// Degraded reports whether any edge is failed after the event.
+	Degraded bool
+}
+
+// Links returns the current link state as an update-shaped report. Lock-free.
+func (e *Engine) Links() *LinkUpdate {
+	ls := e.links.Load()
+	return &LinkUpdate{
+		Version:        ls.version,
+		FailedEdges:    ls.failedSorted(),
+		UncoveredPairs: len(ls.uncovered),
+		Degraded:       ls.degraded(),
+	}
+}
+
+// FailEdges marks the given edges failed (idempotent for already-failed
+// edges): the serving system is pruned to candidates avoiding them, pairs
+// that lost every candidate are recovery-resampled on the surviving graph,
+// and the active demand is re-served over the survivors.
+func (e *Engine) FailEdges(ids ...int) (*LinkUpdate, error) {
+	return e.UpdateLinks(ids, nil)
+}
+
+// RestoreEdges marks the given edges healthy again. Candidates through them
+// (including any paths installed before the failure) immediately rejoin the
+// serving system; recovery paths drawn while the edges were down stay
+// installed as extra diversity.
+func (e *Engine) RestoreEdges(ids ...int) (*LinkUpdate, error) {
+	return e.UpdateLinks(nil, ids)
+}
+
+// SetLinkState replaces the failed-edge set wholesale.
+func (e *Engine) SetLinkState(failed []int) (*LinkUpdate, error) {
+	return e.applyLinkEvent(failed, nil, true)
+}
+
+// UpdateLinks applies one topology event: edges in fail go down, edges in
+// restore come back (restore wins when an edge appears in both). The event
+// is versioned, the pruned system is recovered where possible, and the
+// active demand is re-adapted — see applyLinkEvent.
+func (e *Engine) UpdateLinks(fail, restore []int) (*LinkUpdate, error) {
+	return e.applyLinkEvent(fail, restore, false)
+}
+
+// applyLinkEvent is the single writer of the link state. Under linkMu it
+// computes the new failed set, prunes the installed system via WithoutEdges,
+// runs recovery resampling for pairs that lost all candidates, publishes the
+// new immutable linkState, and finally re-serves the active demand: an
+// immediate renormalization of the previous routing over surviving paths
+// (cheap, no solver — degraded-mode serving) followed by a full re-adapt
+// epoch through the normal solve chain.
+func (e *Engine) applyLinkEvent(fail, restore []int, replace bool) (*LinkUpdate, error) {
+	m := e.cfg.Graph.NumEdges()
+	for _, id := range append(append([]int(nil), fail...), restore...) {
+		if id < 0 || id >= m {
+			return nil, fmt.Errorf("%w: %d (graph has %d edges)", ErrUnknownEdge, id, m)
+		}
+	}
+
+	e.linkMu.Lock()
+	defer e.linkMu.Unlock()
+	if e.Closed() {
+		return nil, ErrClosed
+	}
+	cur := e.links.Load()
+
+	failed := make(map[int]bool, len(cur.failed)+len(fail))
+	if !replace {
+		for id := range cur.failed {
+			failed[id] = true
+		}
+	}
+	for _, id := range fail {
+		failed[id] = true
+	}
+	for _, id := range restore {
+		delete(failed, id)
+	}
+	if sameEdgeSet(failed, cur.failed) {
+		// No-op event: report the current state without a version bump.
+		return &LinkUpdate{
+			Version:        cur.version,
+			FailedEdges:    cur.failedSorted(),
+			UncoveredPairs: len(cur.uncovered),
+			Degraded:       cur.degraded(),
+		}, nil
+	}
+
+	next := &linkState{
+		version:   cur.version + 1,
+		failed:    failed,
+		installed: cur.installed,
+		hash:      cur.hash,
+	}
+	next.serving = cur.installed.WithoutEdges(failed)
+	next.uncovered = next.serving.UncoveredPairs(cur.installed.Pairs())
+
+	update := &LinkUpdate{Version: next.version}
+	if len(next.uncovered) > 0 {
+		e.recoverUncovered(next, update)
+	}
+	update.FailedEdges = next.failedSorted()
+	update.UncoveredPairs = len(next.uncovered)
+	update.Degraded = next.degraded()
+
+	e.links.Store(next)
+	e.accountDegraded(next.degraded())
+	e.metrics.linkEvents.Add(1)
+
+	// Re-serve the active demand over the survivors. This runs after the
+	// publish so the interim renormalization and the re-adapt epoch both see
+	// the new link state.
+	e.reRouteActive(next)
+	return update, nil
+}
+
+// recoverUncovered runs recovery resampling for next.uncovered: draw fresh
+// paths from an oblivious router built on the pruned graph (core.RSample
+// over just the uncovered pairs) so coverage is restored whenever the
+// surviving graph still connects a pair. next.installed/serving/uncovered/
+// hash are updated in place (next is not yet published).
+func (e *Engine) recoverUncovered(next *linkState, update *LinkUpdate) {
+	// Only pairs the surviving graph still connects can be recovered.
+	sub, _ := graph.RemoveEdges(e.cfg.Graph, next.failed)
+	comp := components(sub)
+	var connected []demand.Pair
+	for _, p := range next.uncovered {
+		if comp[p.U] == comp[p.V] {
+			connected = append(connected, p)
+		}
+	}
+	if len(connected) == 0 {
+		return
+	}
+
+	router, err := e.survivorRouter(next.failed)
+	if err != nil {
+		e.metrics.recoveryFailed.Add(1)
+		return
+	}
+	// A version-salted seed keeps recovery deterministic per event while
+	// decorrelating it from the startup sample.
+	seed := e.cfg.Seed ^ (next.version * 0x9e3779b97f4a7c15)
+	fresh, err := core.RSample(router, connected, e.cfg.R, seed)
+	if err != nil {
+		e.metrics.recoveryFailed.Add(1)
+		return
+	}
+
+	merged := core.NewPathSystem(e.cfg.Graph)
+	if err := merged.Merge(next.installed); err != nil {
+		e.metrics.recoveryFailed.Add(1)
+		return
+	}
+	if err := merged.Merge(fresh); err != nil {
+		e.metrics.recoveryFailed.Add(1)
+		return
+	}
+	next.installed = merged
+	next.serving = merged.WithoutEdges(next.failed)
+	next.uncovered = next.serving.UncoveredPairs(merged.Pairs())
+	next.hash = serial.PathSystemHash(merged)
+
+	update.RecoveredPairs = len(connected)
+	update.RecoveryPaths = fresh.TotalPaths()
+	e.metrics.recoveryResamples.Add(1)
+	e.metrics.recoveryPaths.Add(int64(fresh.TotalPaths()))
+}
+
+// survivorRouter builds the recovery router on the surviving subgraph: the
+// configured router first, falling back to SPF (which builds on any graph)
+// when the configured construction does not survive pruning — e.g. valiant
+// on a no-longer-hypercube.
+func (e *Engine) survivorRouter(failed map[int]bool) (oblivious.Router, error) {
+	opt := &oblivious.BuildOptions{Seed: e.cfg.Seed}
+	if name := e.cfg.RouterName; name != "" {
+		if r, err := oblivious.BuildOnSurvivors(name, e.cfg.Graph, failed, opt); err == nil {
+			return r, nil
+		}
+	}
+	return oblivious.BuildOnSurvivors("spf", e.cfg.Graph, failed, opt)
+}
+
+// reRouteActive re-serves the active demand after a topology event: first an
+// immediate publish of the previous routing renormalized over surviving
+// paths (no solver in the loop, so traffic leaves dead edges right away),
+// then a full re-adaptation epoch enqueued through the normal retry chain.
+// Demand pairs the pruned system no longer covers are dropped from the
+// re-served demand (they are black-holed until recovery or restore — the
+// uncovered count in /healthz).
+func (e *Engine) reRouteActive(ls *linkState) {
+	st := e.active.Load()
+	if st == nil || st.Demand == nil {
+		return
+	}
+	served := st.Demand.Restrict(func(p demand.Pair) bool {
+		return len(ls.serving.Unique(p.U, p.V)) > 0
+	})
+	if served.SupportSize() == 0 {
+		return
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.nextEpoch++
+	interim := e.nextEpoch
+	e.pending[interim] = struct{}{}
+	e.nextEpoch++
+	resolve := e.nextEpoch
+	if e.pool.TrySubmit(func() { e.solve(resolve, served) }) {
+		e.pending[resolve] = struct{}{}
+	} else {
+		e.nextEpoch--
+		e.metrics.shed.Add(1)
+	}
+	e.mu.Unlock()
+
+	start := time.Now()
+	r := renormalizeOverSurvivors(ls, st.Routing, served)
+	cong := r.MaxCongestion(e.cfg.Graph)
+	e.publish(&State{
+		Epoch:      interim,
+		Demand:     served,
+		Routing:    r,
+		Congestion: cong,
+		SolvedAt:   time.Now(),
+	})
+	e.metrics.renormalizedServes.Add(1)
+	e.finish(&Outcome{
+		Epoch:        interim,
+		OK:           true,
+		Renormalized: true,
+		Congestion:   cong,
+		Latency:      time.Since(start),
+	})
+}
+
+// renormalizeOverSurvivors rescales the previous routing onto surviving
+// paths: per demand pair, weights on paths avoiding failed edges are scaled
+// up to carry the pair's full amount; a pair whose previous paths all died
+// is spread uniformly over its surviving candidates (including recovery
+// paths). Every pair of d must be covered by ls.serving — callers restrict
+// the demand first.
+func renormalizeOverSurvivors(ls *linkState, prev flow.Routing, d *demand.Demand) flow.Routing {
+	out := flow.New()
+	for _, p := range d.Support() {
+		amt := d.Get(p.U, p.V)
+		var alive []flow.WeightedPath
+		var aliveW float64
+		for _, wp := range prev[p] {
+			if pathAvoids(wp.Path, ls.failed) {
+				alive = append(alive, wp)
+				aliveW += wp.Weight
+			}
+		}
+		if aliveW > 1e-12 {
+			scale := amt / aliveW
+			for _, wp := range alive {
+				out[p] = append(out[p], flow.WeightedPath{Path: wp.Path, Weight: wp.Weight * scale})
+			}
+			continue
+		}
+		cands := ls.serving.Unique(p.U, p.V)
+		w := amt / float64(len(cands))
+		for _, c := range cands {
+			out[p] = append(out[p], flow.WeightedPath{Path: c, Weight: w})
+		}
+	}
+	return out
+}
+
+// pathAvoids reports whether p uses none of the failed edges.
+func pathAvoids(p graph.Path, failed map[int]bool) bool {
+	for _, id := range p.EdgeIDs {
+		if failed[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// accountDegraded tracks cumulative degraded wall time across state
+// transitions. Callers hold linkMu.
+func (e *Engine) accountDegraded(degraded bool) {
+	now := time.Now()
+	switch {
+	case degraded && e.degradedSince.IsZero():
+		e.degradedSince = now
+	case !degraded && !e.degradedSince.IsZero():
+		e.degradedAccum += now.Sub(e.degradedSince)
+		e.degradedSince = time.Time{}
+	}
+}
+
+// DegradedSeconds returns the cumulative wall time the engine has spent with
+// at least one failed edge, including the current stint.
+func (e *Engine) DegradedSeconds() float64 {
+	e.linkMu.Lock()
+	defer e.linkMu.Unlock()
+	total := e.degradedAccum
+	if !e.degradedSince.IsZero() {
+		total += time.Since(e.degradedSince)
+	}
+	return total.Seconds()
+}
+
+// sameEdgeSet reports whether two failed sets are equal.
+func sameEdgeSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id := range a {
+		if !b[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// components labels g's connected components, returning one label per
+// vertex.
+func components(g *graph.Graph) []int {
+	n := g.NumVertices()
+	label := make([]int, n)
+	for i := range label {
+		label[i] = -1
+	}
+	next := 0
+	for s := 0; s < n; s++ {
+		if label[s] >= 0 {
+			continue
+		}
+		stack := []int{s}
+		label[s] = next
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, id := range g.Incident(v) {
+				w := g.Edge(id).Other(v)
+				if label[w] < 0 {
+					label[w] = next
+					stack = append(stack, w)
+				}
+			}
+		}
+		next++
+	}
+	return label
+}

@@ -1,0 +1,525 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"sparseroute/internal/core"
+	"sparseroute/internal/demand"
+	"sparseroute/internal/flow"
+	"sparseroute/internal/graph"
+)
+
+// waitCtx returns a generous context for waiting on epochs.
+func waitCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// routingAvoids fails the test if any published path rides a failed edge.
+func routingAvoids(t *testing.T, r flow.Routing, failed map[int]bool) {
+	t.Helper()
+	for pair, wps := range r {
+		for _, wp := range wps {
+			for _, id := range wp.Path.EdgeIDs {
+				if failed[id] {
+					t.Fatalf("pair %v still routed over failed edge %d", pair, id)
+				}
+			}
+		}
+	}
+}
+
+func TestEngineFailRestoreLifecycle(t *testing.T) {
+	e := testEngine(t, Config{Seed: 7})
+	ctx := waitCtx(t)
+
+	d := demand.New()
+	d.Set(0, 7, 2)
+	epoch, err := e.SubmitDemand(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := e.Wait(ctx, epoch); err != nil || !out.OK {
+		t.Fatalf("initial solve: %v %+v", err, out)
+	}
+	hashBefore := e.Hash()
+	installedBefore := e.InstalledSystem().TotalPaths()
+
+	// Fail one edge the active routing uses, so renormalization has real work.
+	st := e.Active()
+	failedID := st.Routing[demand.MakePair(0, 7)][0].Path.EdgeIDs[0]
+	update, err := e.FailEdges(failedID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if update.Version != 2 || len(update.FailedEdges) != 1 || update.FailedEdges[0] != failedID {
+		t.Fatalf("update %+v", update)
+	}
+	if !update.Degraded {
+		t.Fatal("one failed edge must report degraded")
+	}
+
+	// The interim renormalized routing published synchronously: no path of
+	// the active routing touches the failed edge anymore.
+	st = e.Active()
+	if st.Epoch != epoch+1 {
+		t.Fatalf("active epoch %d, want interim %d", st.Epoch, epoch+1)
+	}
+	routingAvoids(t, st.Routing, map[int]bool{failedID: true})
+	interim, err := e.Wait(ctx, epoch+1)
+	if err != nil || !interim.OK || !interim.Renormalized {
+		t.Fatalf("interim outcome: %v %+v", err, interim)
+	}
+	// The full re-adapt epoch follows through the solver.
+	resolved, err := e.Wait(ctx, epoch+2)
+	if err != nil || !resolved.OK {
+		t.Fatalf("re-adapt outcome: %v %+v", err, resolved)
+	}
+	routingAvoids(t, e.Active().Routing, map[int]bool{failedID: true})
+
+	// Health reflects the degraded link state.
+	h := e.Health()
+	if h.Status != HealthDegraded || len(h.FailedEdges) != 1 || h.FailedEdges[0] != failedID {
+		t.Fatalf("health %+v", h)
+	}
+
+	// The surviving hypercube is still connected, so every pair is covered —
+	// either its sample survived the pruning or recovery resampling drew
+	// replacements. The hash moves only in the latter case.
+	if n := len(e.links.Load().uncovered); n != 0 {
+		t.Fatalf("connected survivor graph left %d pairs uncovered", n)
+	}
+	if update.RecoveredPairs == 0 && e.Hash() != hashBefore {
+		t.Fatal("fail event without recovery must not change the installed-system hash")
+	}
+	if update.RecoveredPairs > 0 && e.Hash() == hashBefore {
+		t.Fatal("recovery resampling must change the installed-system hash")
+	}
+
+	// Restore: serving == installed again, health back to ok.
+	update, err = e.RestoreEdges(failedID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if update.Degraded || len(update.FailedEdges) != 0 {
+		t.Fatalf("restore update %+v", update)
+	}
+	if h := e.Health(); h.Status != HealthOK {
+		t.Fatalf("health after restore %+v", h)
+	}
+	if got, installed := e.System().TotalPaths(), e.InstalledSystem().TotalPaths(); got != installed {
+		t.Fatalf("serving %d paths after restore, installed has %d", got, installed)
+	}
+	if got := e.InstalledSystem().TotalPaths(); got < installedBefore {
+		t.Fatalf("installed shrank: %d < %d", got, installedBefore)
+	}
+	if e.DegradedSeconds() <= 0 {
+		t.Fatal("degraded time was not accounted")
+	}
+}
+
+func TestEngineLinkEventValidation(t *testing.T) {
+	e := testEngine(t, Config{Seed: 7})
+	if _, err := e.FailEdges(-1); !errors.Is(err, ErrUnknownEdge) {
+		t.Fatalf("err=%v, want ErrUnknownEdge", err)
+	}
+	if _, err := e.FailEdges(10_000); !errors.Is(err, ErrUnknownEdge) {
+		t.Fatalf("err=%v, want ErrUnknownEdge", err)
+	}
+	// A no-op event does not bump the version.
+	v := e.Links().Version
+	if u, err := e.RestoreEdges(0); err != nil || u.Version != v {
+		t.Fatalf("no-op restore bumped version: %v %+v", err, u)
+	}
+	e.Close()
+	if _, err := e.FailEdges(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err=%v, want ErrClosed after Close", err)
+	}
+}
+
+// diamondEngine builds an engine over a 4-cycle 0-1-3-2-0 whose hand-made
+// system routes pair (0,3) only via 0-1-3: failing edge (1,3) kills every
+// candidate of the pair while the graph stays connected via 0-2-3, which is
+// exactly the recovery-resampling scenario.
+func diamondEngine(t *testing.T) (*Engine, [4]int) {
+	t.Helper()
+	g := graph.New(4)
+	a1 := g.AddUnitEdge(0, 1)
+	a2 := g.AddUnitEdge(1, 3)
+	b1 := g.AddUnitEdge(0, 2)
+	b2 := g.AddUnitEdge(2, 3)
+	ps := core.NewPathSystem(g)
+	for _, p := range []graph.Path{
+		{Src: 0, Dst: 3, EdgeIDs: []int{a1, a2}},
+		{Src: 0, Dst: 1, EdgeIDs: []int{a1}},
+		{Src: 2, Dst: 3, EdgeIDs: []int{b2}},
+	} {
+		if err := ps.AddPath(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := New(Config{Graph: g, System: ps, R: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e, [4]int{a1, a2, b1, b2}
+}
+
+func TestEngineRecoveryResampling(t *testing.T) {
+	e, edges := diamondEngine(t)
+	hashBefore := e.Hash()
+
+	update, err := e.FailEdges(edges[1]) // kill 1-3: pair (0,3) loses its only path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if update.RecoveredPairs != 1 || update.RecoveryPaths == 0 {
+		t.Fatalf("expected recovery resampling, got %+v", update)
+	}
+	if update.UncoveredPairs != 0 {
+		t.Fatalf("pair (0,3) should be re-covered: %+v", update)
+	}
+	// The recovered candidates avoid the failed edge (they were drawn on the
+	// pruned graph) and the installed-system hash changed.
+	cands := e.System().Unique(0, 3)
+	if len(cands) == 0 {
+		t.Fatal("no serving candidates for (0,3) after recovery")
+	}
+	for _, p := range cands {
+		for _, id := range p.EdgeIDs {
+			if id == edges[1] {
+				t.Fatal("recovery path uses the failed edge")
+			}
+		}
+	}
+	if e.Hash() == hashBefore {
+		t.Fatal("recovery resampling must change the installed-system hash")
+	}
+
+	// The engine actually serves the recovered pair.
+	d := demand.New()
+	d.Set(0, 3, 1)
+	epoch, err := e.SubmitDemand(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Wait(waitCtx(t), epoch)
+	if err != nil || !out.OK {
+		t.Fatalf("solve on recovered pair: %v %+v", err, out)
+	}
+	routingAvoids(t, e.Active().Routing, map[int]bool{edges[1]: true})
+
+	// Restoring brings the original candidate back alongside the recovery
+	// paths; the hash (installed system) is unchanged by the restore.
+	hashRecovered := e.Hash()
+	if _, err := e.RestoreEdges(edges[1]); err != nil {
+		t.Fatal(err)
+	}
+	if e.Hash() != hashRecovered {
+		t.Fatal("restore must not change the installed-system hash")
+	}
+	if got := len(e.System().Unique(0, 3)); got < 2 {
+		t.Fatalf("want original + recovery candidates after restore, got %d", got)
+	}
+}
+
+func TestEngineDisconnectedPairStaysUncovered(t *testing.T) {
+	// Path graph 0-1-2: failing edge (0,1) isolates vertex 0, so pair (0,2)
+	// cannot be recovered and the engine serves degraded.
+	g := graph.New(3)
+	e1 := g.AddUnitEdge(0, 1)
+	e2 := g.AddUnitEdge(1, 2)
+	ps := core.NewPathSystem(g)
+	for _, p := range []graph.Path{
+		{Src: 0, Dst: 2, EdgeIDs: []int{e1, e2}},
+		{Src: 1, Dst: 2, EdgeIDs: []int{e2}},
+	} {
+		if err := ps.AddPath(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := New(Config{Graph: g, System: ps, R: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	update, err := e.FailEdges(e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if update.UncoveredPairs != 1 || update.RecoveredPairs != 0 {
+		t.Fatalf("disconnected pair must stay uncovered: %+v", update)
+	}
+	if h := e.Health(); h.Status != HealthDegraded || h.UncoveredPairs != 1 {
+		t.Fatalf("health %+v", h)
+	}
+
+	// A demand mixing a dead pair and a live pair is accepted and served
+	// degraded: the dead pair is dropped and counted.
+	d := demand.New()
+	d.Set(0, 2, 1)
+	d.Set(1, 2, 1)
+	epoch, err := e.SubmitDemand(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Wait(waitCtx(t), epoch)
+	if err != nil || !out.OK {
+		t.Fatalf("degraded solve: %v %+v", err, out)
+	}
+	if out.DroppedPairs != 1 {
+		t.Fatalf("dropped_pairs=%d, want 1", out.DroppedPairs)
+	}
+	if got := e.Active().Demand.SupportSize(); got != 1 {
+		t.Fatalf("served support %d, want 1", got)
+	}
+
+	// A demand only on the dead pair falls back (nothing servable).
+	dead := demand.New()
+	dead.Set(0, 2, 1)
+	epoch, err = e.SubmitDemand(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = e.Wait(waitCtx(t), epoch)
+	if err != nil || !out.Fallback {
+		t.Fatalf("all-dead solve: %v %+v", err, out)
+	}
+}
+
+func TestEngineSnapshotWhileDegradedRestoresLinkState(t *testing.T) {
+	e, edges := diamondEngine(t)
+	if _, err := e.FailEdges(edges[1]); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot carries the recovery paths and the failed-edge set.
+	var buf bytes.Buffer
+	if err := e.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(bytes.NewReader(buf.Bytes()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+
+	if restored.Hash() != e.Hash() {
+		t.Fatalf("restored hash %016x != degraded original %016x", restored.Hash(), e.Hash())
+	}
+	got, want := restored.Links(), e.Links()
+	if len(got.FailedEdges) != len(want.FailedEdges) || got.FailedEdges[0] != want.FailedEdges[0] {
+		t.Fatalf("restored failed edges %v, want %v", got.FailedEdges, want.FailedEdges)
+	}
+	if got.UncoveredPairs != want.UncoveredPairs {
+		t.Fatalf("restored uncovered %d, want %d", got.UncoveredPairs, want.UncoveredPairs)
+	}
+	if h := restored.Health(); h.Status != HealthDegraded {
+		t.Fatalf("restored health %+v, want degraded", h)
+	}
+	// The restored engine serves the recovered pair without any router.
+	d := demand.New()
+	d.Set(0, 3, 1)
+	epoch, err := restored.SubmitDemand(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := restored.Wait(waitCtx(t), epoch); err != nil || !out.OK {
+		t.Fatalf("restored degraded solve: %v %+v", err, out)
+	}
+}
+
+func TestEngineSolveRetryChain(t *testing.T) {
+	e := testEngine(t, Config{Seed: 7, RetryBackoff: time.Millisecond})
+	ctx := waitCtx(t)
+
+	// Prime an active routing for the renormalization stage.
+	d := demand.New()
+	d.Set(0, 7, 2)
+	epoch, err := e.SubmitDemand(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := e.Wait(ctx, epoch); err != nil || !out.OK {
+		t.Fatalf("prime solve: %v %+v", err, out)
+	}
+
+	// Every solver stage fails: the chain must fall through to the previous
+	// routing renormalized over (all-surviving) candidates.
+	e.adapt = func(ctx context.Context, ps *core.PathSystem, d *demand.Demand, opt *core.AdaptOptions) (flow.Routing, error) {
+		return nil, fmt.Errorf("injected solver failure")
+	}
+	epoch, err = e.SubmitDemand(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Wait(ctx, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK || !out.Renormalized {
+		t.Fatalf("outcome %+v, want renormalized success", out)
+	}
+	if out.Retries != 2 {
+		t.Fatalf("retries=%d, want 2", out.Retries)
+	}
+	if got := e.metrics.solveRetries.Value(); got != 2 {
+		t.Fatalf("solve_retries=%d, want 2", got)
+	}
+	// The renormalized epoch still carries the demand.
+	var total float64
+	for _, wp := range e.Active().Routing[demand.MakePair(0, 7)] {
+		total += wp.Weight
+	}
+	if total < 1.99 || total > 2.01 {
+		t.Fatalf("renormalized routing carries %v, want 2", total)
+	}
+
+	// A failing stage 1 with a healthy stage 2 recovers on the first retry.
+	calls := 0
+	e.adapt = func(ctx context.Context, ps *core.PathSystem, d *demand.Demand, opt *core.AdaptOptions) (flow.Routing, error) {
+		calls++
+		if calls == 1 {
+			return nil, fmt.Errorf("injected transient failure")
+		}
+		return ps.AdaptCtx(ctx, d, opt)
+	}
+	epoch, err = e.SubmitDemand(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = e.Wait(ctx, epoch)
+	if err != nil || !out.OK || out.Renormalized {
+		t.Fatalf("outcome %+v, want MWU-stage success", out)
+	}
+	if out.Retries != 1 {
+		t.Fatalf("retries=%d, want 1", out.Retries)
+	}
+}
+
+func TestEngineSolveRetriesDisabled(t *testing.T) {
+	e := testEngine(t, Config{Seed: 7, SolveRetries: -1})
+	e.adapt = func(ctx context.Context, ps *core.PathSystem, d *demand.Demand, opt *core.AdaptOptions) (flow.Routing, error) {
+		return nil, fmt.Errorf("injected solver failure")
+	}
+	d := demand.New()
+	d.Set(0, 7, 1)
+	epoch, err := e.SubmitDemand(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Wait(waitCtx(t), epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Fallback || out.Retries != 0 {
+		t.Fatalf("outcome %+v, want immediate fallback with no retries", out)
+	}
+	if got := e.metrics.failed.Value(); got != 1 {
+		t.Fatalf("epochs_failed=%d, want 1", got)
+	}
+}
+
+// TestEngineFaultInjectionUnderTraffic is the race-focused harness: random
+// edges of a hypercube die and recover while demand epochs stream in and
+// readers hammer the lock-free surfaces. Run with -race. The end-state
+// invariant: after all edges are restored, the engine reports ok, serves a
+// fresh epoch, and every published routing stopped using an edge while that
+// edge was failed (checked on the quiesced final state).
+func TestEngineFaultInjectionUnderTraffic(t *testing.T) {
+	e := testEngine(t, Config{Seed: 9, Workers: 2, QueueDepth: 64, RetryBackoff: time.Millisecond})
+	ctx := waitCtx(t)
+	m := e.cfg.Graph.NumEdges()
+
+	var wg sync.WaitGroup
+	// Demand writers.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 0xfa17))
+			for i := 0; i < 10; i++ {
+				d := demand.New()
+				u := rng.IntN(8)
+				v := (u + 1 + rng.IntN(7)) % 8
+				d.Set(u, v, 1+float64(rng.IntN(3)))
+				epoch, err := e.SubmitDemand(d)
+				if err != nil {
+					if errors.Is(err, ErrBusy) {
+						continue
+					}
+					t.Error(err)
+					return
+				}
+				e.Wait(ctx, epoch)
+			}
+		}(w)
+	}
+	// Chaos: kill and restore random edges mid-traffic.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewPCG(0xdead, 0xbeef))
+		for i := 0; i < 12; i++ {
+			id := rng.IntN(m)
+			if rng.IntN(2) == 0 {
+				if _, err := e.FailEdges(id); err != nil {
+					t.Error(err)
+					return
+				}
+			} else {
+				if _, err := e.RestoreEdges(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	// Lock-free readers.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				e.Health()
+				e.Links()
+				e.System().TotalPaths()
+				if st := e.Active(); st != nil {
+					st.Routing.MaxCongestion(e.cfg.Graph)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Restore everything and verify the engine converges back to ok.
+	all := make([]int, m)
+	for i := range all {
+		all[i] = i
+	}
+	if _, err := e.RestoreEdges(all...); err != nil {
+		t.Fatal(err)
+	}
+	if h := e.Health(); h.Status != HealthOK || h.UncoveredPairs != 0 {
+		t.Fatalf("health after full restore %+v", h)
+	}
+	d := demand.New()
+	d.Set(0, 7, 1)
+	epoch, err := e.SubmitDemand(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := e.Wait(ctx, epoch); err != nil || !out.OK {
+		t.Fatalf("post-chaos solve: %v %+v", err, out)
+	}
+}

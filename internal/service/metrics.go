@@ -29,6 +29,13 @@ type Metrics struct {
 	shed           expvar.Int   // demands rejected by back-pressure
 	lastCongestion expvar.Float
 
+	linkEvents         expvar.Int // applied topology events (fail/restore/set)
+	recoveryResamples  expvar.Int // link events that drew fresh recovery paths
+	recoveryPaths      expvar.Int // total recovery paths installed
+	recoveryFailed     expvar.Int // recovery passes that errored (pairs stay uncovered)
+	solveRetries       expvar.Int // retry stages run beyond first solve attempts
+	renormalizedServes expvar.Int // interim renormalized publishes after link events
+
 	mu   sync.Mutex
 	lat  *stats.Ring // solve latencies, seconds
 	cong *stats.Ring // per-epoch congestion
@@ -49,6 +56,24 @@ func newMetrics(e *Engine) *Metrics {
 	m.vars.Set("fallbacks", &m.fallbacks)
 	m.vars.Set("demands_shed", &m.shed)
 	m.vars.Set("last_congestion", &m.lastCongestion)
+	m.vars.Set("link_events", &m.linkEvents)
+	m.vars.Set("recovery_resamples", &m.recoveryResamples)
+	m.vars.Set("recovery_paths", &m.recoveryPaths)
+	m.vars.Set("recovery_failed", &m.recoveryFailed)
+	m.vars.Set("solve_retries", &m.solveRetries)
+	m.vars.Set("renormalized_serves", &m.renormalizedServes)
+	m.vars.Set("failed_edges", expvar.Func(func() any {
+		return len(e.links.Load().failed)
+	}))
+	m.vars.Set("uncovered_pairs", expvar.Func(func() any {
+		return len(e.links.Load().uncovered)
+	}))
+	m.vars.Set("link_version", expvar.Func(func() any {
+		return e.links.Load().version
+	}))
+	m.vars.Set("degraded_seconds", expvar.Func(func() any {
+		return e.DegradedSeconds()
+	}))
 	m.vars.Set("active_epoch", expvar.Func(func() any {
 		if s := e.Active(); s != nil {
 			return s.Epoch
@@ -61,18 +86,25 @@ func newMetrics(e *Engine) *Metrics {
 	m.vars.Set("congestion", expvar.Func(func() any {
 		return m.window(m.cong)
 	}))
-	st := e.system.Stats()
-	sys := map[string]any{
-		"hash":        fmt.Sprintf("%016x", e.hash),
-		"router":      e.cfg.RouterName,
-		"r":           e.cfg.R,
-		"seed":        e.cfg.Seed,
-		"pairs":       st.Pairs,
-		"total_paths": st.TotalPaths,
-		"sparsity":    st.Sparsity,
-		"max_hops":    st.MaxHops,
-	}
-	m.vars.Set("path_system", expvar.Func(func() any { return sys }))
+	// The path system is no longer fixed for the engine's lifetime: recovery
+	// resampling installs fresh paths and pruning shrinks the serving set,
+	// so the summary is computed at scrape time from the current link state.
+	m.vars.Set("path_system", expvar.Func(func() any {
+		ls := e.links.Load()
+		st := ls.installed.Stats()
+		serving := ls.serving.Stats()
+		return map[string]any{
+			"hash":          fmt.Sprintf("%016x", ls.hash),
+			"router":        e.cfg.RouterName,
+			"r":             e.cfg.R,
+			"seed":          e.cfg.Seed,
+			"pairs":         st.Pairs,
+			"total_paths":   st.TotalPaths,
+			"serving_paths": serving.TotalPaths,
+			"sparsity":      st.Sparsity,
+			"max_hops":      st.MaxHops,
+		}
+	}))
 	return m
 }
 

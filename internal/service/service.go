@@ -56,6 +56,20 @@ type Config struct {
 	// engine keeps the last good routing, counting a fallback. 0 disables
 	// the deadline.
 	SolveDeadline time.Duration
+	// SolveRetries bounds the retry stages a failed (not canceled) solve may
+	// run after the first attempt: forced MWU, then the previous routing
+	// renormalized over surviving candidates. Default 2 (the full chain);
+	// negative disables retries entirely.
+	SolveRetries int
+	// RetryBackoff is the sleep before the first retry stage, doubling per
+	// stage; a canceled context cuts the wait short. Default 10ms.
+	RetryBackoff time.Duration
+	// FailedEdges starts the engine with the given edges already failed —
+	// set by Restore from a snapshot taken while degraded. No recovery
+	// resampling runs at startup: the installed system (which already
+	// carries any earlier recovery paths) is served pruned as-is, so the
+	// restored engine reproduces the snapshot's path-system hash.
+	FailedEdges []int
 	// Adapt tunes the rate-adaptation solvers.
 	Adapt *core.AdaptOptions
 	// LatencyWindow is the number of recent solves the latency/congestion
@@ -76,6 +90,12 @@ func (c Config) withDefaults() Config {
 	if c.LatencyWindow <= 0 {
 		c.LatencyWindow = 256
 	}
+	if c.SolveRetries == 0 {
+		c.SolveRetries = 2
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
 	return c
 }
 
@@ -91,3 +111,7 @@ var ErrClosed = errors.New("service: engine closed")
 // the bounded outcome history. Waiting on such an epoch would otherwise block
 // until the caller's context expired.
 var ErrUnknownEpoch = errors.New("service: unknown epoch")
+
+// ErrUnknownEdge is returned by the link-state API for an edge ID outside
+// the topology.
+var ErrUnknownEdge = errors.New("service: unknown edge")

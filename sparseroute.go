@@ -16,7 +16,10 @@
 //     and integral (randomized rounding + local search), cancelable through
 //     a context (PathSystem.AdaptCtx and friends);
 //   - evaluation against the offline optimum, packet-level makespan
-//     simulation, and a traffic-engineering scenario runner.
+//     simulation, and a traffic-engineering scenario runner;
+//   - the online serving engine (resident path system, per-epoch rate
+//     adaptation, topology events with recovery resampling and degraded-mode
+//     health — see Engine and cmd/routed).
 //
 // # Quick start
 //
@@ -91,6 +94,22 @@ type (
 	EngineState = service.State
 	// EngineOutcome reports how one submitted epoch ended (Engine.Wait).
 	EngineOutcome = service.Outcome
+	// EngineHealth is the engine's liveness/readiness report: ok, degraded
+	// (with failed edges and uncovered pairs), or closed (Engine.Health).
+	EngineHealth = service.Health
+	// LinkUpdate reports one applied topology event (Engine.FailEdges,
+	// RestoreEdges, SetLinkState, or Links for the current state).
+	LinkUpdate = service.LinkUpdate
+)
+
+// Engine health states (EngineHealth.Status).
+const (
+	// EngineHealthOK: serving with the full installed path system.
+	EngineHealthOK = service.HealthOK
+	// EngineHealthDegraded: serving over survivors of a failed-edge set.
+	EngineHealthDegraded = service.HealthDegraded
+	// EngineHealthClosed: the engine no longer accepts work.
+	EngineHealthClosed = service.HealthClosed
 )
 
 // Engine errors, re-exported for errors.Is checks through the facade.
@@ -102,6 +121,9 @@ var (
 	// ErrUnknownEpoch: Wait on an epoch that was never assigned or whose
 	// outcome was already evicted from the bounded history.
 	ErrUnknownEpoch = service.ErrUnknownEpoch
+	// ErrUnknownEdge: a link-state event named an edge ID outside the
+	// topology.
+	ErrUnknownEdge = service.ErrUnknownEdge
 )
 
 // --- Topologies -----------------------------------------------------------
