@@ -8,13 +8,17 @@
 //	GET  /v1/paths      candidate paths + live sending rates for ?src=&dst=
 //	GET  /v1/routing    the full active routing
 //	POST /v1/links      topology event: {"fail":[...]}, {"restore":[...]},
-//	                    or declarative {"set":[...]}
-//	GET  /v1/links      current link state (version, failed edges, status)
+//	                    declarative {"set":[...]}, or a capacity override
+//	                    {"edge":id,"capacity":c} (0 fails, (0,1) degrades,
+//	                    >=1 restores full capacity)
+//	GET  /v1/links      current link state (version, failed + degraded edges,
+//	                    status)
 //	POST /v1/snapshot   persist the path system to the --snapshot file
 //	GET  /debug/vars    expvar metrics (epochs, latency quantiles, fallbacks,
-//	                    failed_edges, recovery_resamples, ...)
-//	GET  /healthz       state machine: ok / degraded (failed edges, uncovered
-//	                    pairs) / 503 closed
+//	                    failed_edges, degraded_edges, recovery_resamples,
+//	                    proactive_resamples, compacted_paths, ...)
+//	GET  /healthz       state machine: ok / degraded (failed or capacity-
+//	                    reduced edges, uncovered/at-risk pairs) / 503 closed
 //
 // Reads are lock-free while epochs solve; a solve that fails or misses
 // --deadline leaves the last good routing serving (a fallback counter
@@ -30,8 +34,19 @@
 // routing renormalized off the dead edges, re-solves the demand, and — when
 // a pair's candidates all died but the survivor graph still connects it —
 // draws fresh recovery paths on the pruned topology (recovery resampling).
-// /healthz reports "degraded" until every edge is restored; snapshots taken
-// while degraded carry the failed-edge set and restore byte-identically.
+// Pairs a failure leaves with a single surviving candidate are widened
+// proactively on the survivor graph before a second failure can disconnect
+// them, and accumulated recovery paths are garbage-collected once a pair's
+// original candidates are all healthy again (bounded per pair meanwhile), so
+// a long drill sequence cannot grow the resident system without bound.
+//
+// A capacity override between 0 and 1 degrades a link without failing it:
+// its candidates keep serving, but rate adaptation and the published
+// congestion run against a capacity-scaled view of the topology, so traffic
+// shifts away from the weakened link exactly as far as the re-optimization
+// says it should. /healthz reports "degraded" until every edge is restored;
+// snapshots taken while degraded carry the failed-edge set and capacity
+// overrides and restore byte-identically.
 //
 // Example:
 //
@@ -42,6 +57,8 @@
 //	curl -X POST localhost:8344/v1/links -d '{"fail":[3,17]}'   # failure drill
 //	curl localhost:8344/healthz                                 # => degraded
 //	curl -X POST localhost:8344/v1/links -d '{"restore":[3,17]}'
+//	curl -X POST localhost:8344/v1/links -d '{"edge":3,"capacity":0.5}'  # brownout
+//	curl -X POST localhost:8344/v1/links -d '{"edge":3,"capacity":1}'    # recover
 package main
 
 import (

@@ -311,6 +311,216 @@ func TestDaemonDeadlineCancelsSolve(t *testing.T) {
 	}
 }
 
+// TestDaemonCapacityDrill is the capacity-degradation acceptance test: on a
+// diamond (two disjoint 2-hop routes between 0 and 3) a brownout to 50% on one
+// route must strictly worsen the published congestion without pruning any
+// path, /healthz must report degraded with the override list and no failed
+// edges, a snapshot taken mid-brownout must carry the override across a
+// restart, and recovering to full capacity must return the daemon to ok with
+// the startup hash intact.
+func TestDaemonCapacityDrill(t *testing.T) {
+	dir := t.TempDir()
+	topo := filepath.Join(dir, "topo.json")
+	snap := filepath.Join(dir, "system.snapshot")
+
+	// Diamond: 0-1-3 and 0-2-3, all unit edges. Demand 2 over (0,3) splits
+	// evenly for congestion 1; with the 0-1 edge at half capacity the optimum
+	// moves to a 2/3 vs 4/3 split for congestion 4/3.
+	g := gen.Hypercube(2) // 4-cycle 0-1-3-2-0: exactly the diamond above.
+	f, err := os.Create(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.EncodeGraph(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	o, err := parseFlags([]string{
+		"-topo", topo, "-router", "ksp", "-k", "2", "-s", "6", "-seed", "7",
+		"-workers", "2", "-snapshot", snap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, stop := startDaemon(t, o)
+
+	// The drill needs both (0,3) routes in the sample; k=2 over a 4-cycle
+	// offers exactly the two disjoint ones and s=6 draws make both near-certain
+	// (and deterministic for the fixed seed).
+	resp, err := http.Get(url + "/v1/paths?src=0&dst=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(decodeBody(t, resp)["paths"].([]any)); n != 2 {
+		t.Fatalf("sample holds %d unique (0,3) paths, drill needs 2", n)
+	}
+
+	// Baseline congestion at full capacity.
+	demand := `{"entries":[{"u":0,"v":3,"amount":2}]}`
+	resp, err = http.Post(url+"/v1/demand?wait=1", "application/json", strings.NewReader(demand))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := decodeBody(t, resp)
+	if ep["solved"] != true {
+		t.Fatalf("baseline epoch not solved: %v", ep)
+	}
+	baseline := ep["congestion"].(float64)
+	if baseline > 1.01 {
+		t.Fatalf("baseline congestion %v, want ~1", baseline)
+	}
+	hash0, _ := pathSystemHashFromVars(t, url)
+
+	// Find the edge 0-1 by endpoints rather than assuming generator ID order.
+	weak := -1
+	for id, e := range g.Edges() {
+		if (e.U == 0 && e.V == 1) || (e.U == 1 && e.V == 0) {
+			weak = id
+		}
+	}
+	if weak < 0 {
+		t.Fatal("no 0-1 edge in the 4-cycle")
+	}
+
+	// Brownout: half the capacity of one route's first hop.
+	resp, err = http.Post(url+"/v1/links", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"edge":%d,"capacity":0.5}`, weak)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("capacity event status %d", resp.StatusCode)
+	}
+	link := decodeBody(t, resp)
+	if link["status"] != "degraded" {
+		t.Fatalf("capacity event: %v", link)
+	}
+	if fe, ok := link["failed_edges"].([]any); ok && len(fe) != 0 {
+		t.Fatalf("brownout must not report failed edges: %v", link)
+	}
+	deg := link["degraded_edges"].([]any)[0].(map[string]any)
+	if deg["edge"].(float64) != float64(weak) || deg["capacity"].(float64) != 0.5 {
+		t.Fatalf("degraded_edges: %v", link["degraded_edges"])
+	}
+
+	// No pruning, no resample: both paths still installed, hash unchanged.
+	resp, err = http.Get(url + "/v1/paths?src=0&dst=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(decodeBody(t, resp)["paths"].([]any)); n != 2 {
+		t.Fatalf("brownout pruned paths: %d left", n)
+	}
+	if h, _ := pathSystemHashFromVars(t, url); h != hash0 {
+		t.Fatalf("brownout changed the installed system: %s != %s", h, hash0)
+	}
+
+	// Same demand is strictly worse against the reduced capacity.
+	resp, err = http.Post(url+"/v1/demand?wait=1", "application/json", strings.NewReader(demand))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep = decodeBody(t, resp)
+	if ep["solved"] != true {
+		t.Fatalf("brownout epoch not solved: %v", ep)
+	}
+	if c := ep["congestion"].(float64); c <= baseline+0.01 || c < 1.3 || c > 1.37 {
+		t.Fatalf("brownout congestion %v, want ~4/3 (> baseline %v)", c, baseline)
+	}
+
+	// /healthz: degraded with the override listed, no failures.
+	resp, err = http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded healthz status %d (must keep serving)", resp.StatusCode)
+	}
+	h := decodeBody(t, resp)
+	if h["status"] != "degraded" {
+		t.Fatalf("healthz: %v", h)
+	}
+	if fe, ok := h["failed_edges"].([]any); ok && len(fe) != 0 {
+		t.Fatalf("healthz lists failed edges during a brownout: %v", h)
+	}
+	if len(h["degraded_edges"].([]any)) != 1 {
+		t.Fatalf("healthz degraded_edges: %v", h)
+	}
+
+	// Snapshot mid-brownout, kill, and check the override is on disk.
+	resp, err = http.Post(url+"/v1/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp)
+	stop()
+
+	sf, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := serial.DecodeSnapshot(sf)
+	sf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sd.FailedEdges) != 0 {
+		t.Fatalf("snapshot failed edges %v, want none", sd.FailedEdges)
+	}
+	if len(sd.Capacities) != 1 || sd.Capacities[weak] != 0.5 {
+		t.Fatalf("snapshot capacities %v, want {%d: 0.5}", sd.Capacities, weak)
+	}
+
+	// Restart from the snapshot alone: same system, still degraded.
+	if err := os.Remove(topo); err != nil {
+		t.Fatal(err)
+	}
+	url2, stop2 := startDaemon(t, o)
+	defer stop2()
+	if h2, _ := pathSystemHashFromVars(t, url2); h2 != hash0 {
+		t.Fatalf("restored hash %s != original %s", h2, hash0)
+	}
+	resp, err = http.Get(url2 + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := decodeBody(t, resp); h["status"] != "degraded" {
+		t.Fatalf("restored healthz: %v", h)
+	}
+
+	// Recover to full capacity: ok, original hash, baseline congestion.
+	resp, err = http.Post(url2+"/v1/links", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"edge":%d,"capacity":1}`, weak)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link := decodeBody(t, resp); link["status"] != "ok" {
+		t.Fatalf("recovery event: %v", link)
+	}
+	resp, err = http.Get(url2 + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := decodeBody(t, resp); h["status"] != "ok" {
+		t.Fatalf("healthz after recovery: %v", h)
+	}
+	if h2, _ := pathSystemHashFromVars(t, url2); h2 != hash0 {
+		t.Fatalf("recovery changed the installed system: %s != %s", h2, hash0)
+	}
+	resp, err = http.Post(url2+"/v1/demand?wait=1", "application/json", strings.NewReader(demand))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep = decodeBody(t, resp)
+	if ep["solved"] != true {
+		t.Fatalf("post-recovery epoch not solved: %v", ep)
+	}
+	if c := ep["congestion"].(float64); c > 1.01 {
+		t.Fatalf("post-recovery congestion %v, want ~1", c)
+	}
+}
+
 // TestDaemonFailureDrill is the link-failure acceptance test: serve a
 // hypercube, drive demand, fail edges mid-traffic via POST /v1/links, and
 // check the degraded-mode contract — every still-connected pair stays routed

@@ -248,6 +248,26 @@ func (ps *PathSystem) UncoveredPairs(pairs []demand.Pair) []demand.Pair {
 	return out
 }
 
+// Rebind returns a view of ps over g2, sharing path storage. g2 must have the
+// same shape as the system's graph (vertex count, edge count, and per-edge
+// endpoints); only capacities may differ. This is how the adaptation solvers
+// are pointed at a capacity-scaled view of the topology (graph.ScaleCapacities)
+// without copying any paths: the candidates are identical, the congestion
+// denominators are not.
+func (ps *PathSystem) Rebind(g2 *graph.Graph) (*PathSystem, error) {
+	if g2.NumVertices() != ps.g.NumVertices() || g2.NumEdges() != ps.g.NumEdges() {
+		return nil, fmt.Errorf("core: rebinding path system across different graph shapes")
+	}
+	for _, e := range ps.g.Edges() {
+		e2 := g2.Edge(e.ID)
+		if e2.U != e.U || e2.V != e.V {
+			return nil, fmt.Errorf("core: rebinding path system: edge %d joins (%d,%d) vs (%d,%d)",
+				e.ID, e.U, e.V, e2.U, e2.V)
+		}
+	}
+	return &PathSystem{g: g2, paths: ps.paths}, nil
+}
+
 // Merge adds every candidate of other into ps (multiplicities add). Both
 // systems must share the same graph.
 func (ps *PathSystem) Merge(other *PathSystem) error {

@@ -92,9 +92,9 @@ func TestMergeMultiplicityAfterPruning(t *testing.T) {
 		}
 		return p
 	}
-	short := mk(0, 1, 2)       // edges 0,1
-	long := mk(0, 5, 4, 3, 2)  // edges 5,4,3
-	hop := mk(3, 4)            // edge 3
+	short := mk(0, 1, 2)      // edges 0,1
+	long := mk(0, 5, 4, 3, 2) // edges 5,4,3
+	hop := mk(3, 4)           // edge 3
 
 	cases := []struct {
 		name       string

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"sparseroute/internal/demand"
+	"sparseroute/internal/graph"
+	"sparseroute/internal/graph/gen"
+	"sparseroute/internal/oblivious"
+)
+
+// TestRebindOntoScaledGraph pins the capacity-override seam: a system rebound
+// onto a ScaleCapacities clone shares the same paths but measures congestion
+// against the reduced capacities, and adaptation over the rebound system
+// shifts flow off the weakened edge.
+func TestRebindOntoScaledGraph(t *testing.T) {
+	g := graph.New(2)
+	e1 := g.AddUnitEdge(0, 1)
+	e2 := g.AddUnitEdge(0, 1)
+	ps := NewPathSystem(g)
+	for _, p := range []graph.Path{
+		{Src: 0, Dst: 1, EdgeIDs: []int{e1}},
+		{Src: 0, Dst: 1, EdgeIDs: []int{e2}},
+	} {
+		if err := ps.AddPath(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	scaled := graph.ScaleCapacities(g, map[int]float64{e1: 0.5})
+	rb, err := ps.Rebind(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Graph() != scaled {
+		t.Fatal("rebound system must report the scaled graph")
+	}
+	if rb.TotalPaths() != ps.TotalPaths() || len(rb.Paths(0, 1)) != 2 {
+		t.Fatal("rebind must not copy or drop paths")
+	}
+
+	d := demand.New()
+	d.Set(0, 1, 2)
+	r, err := rb.Adapt(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand 2 over capacities (0.5, 1): optimum puts 2/3 on the weak edge for
+	// congestion 4/3 (an even 1/1 split would cost 2).
+	if cong := r.MaxCongestion(scaled); cong < 1.3 || cong > 1.37 {
+		t.Fatalf("congestion on scaled graph %v, want ~4/3", cong)
+	}
+	if cong := r.MaxCongestion(g); cong > 1.37 {
+		t.Fatalf("the same routing on the unscaled graph should be light, got %v", cong)
+	}
+}
+
+// TestRebindRejectsMismatchedGraphs: a rebind target must have the identical
+// shape and edge identity.
+func TestRebindRejectsMismatchedGraphs(t *testing.T) {
+	g := gen.Hypercube(3)
+	router := oblivious.NewSPF(g)
+	ps, err := RSample(router, AllPairs(g.NumVertices()), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fewer edges.
+	sub, _ := graph.RemoveEdges(g, map[int]bool{0: true})
+	if _, err := ps.Rebind(sub); err == nil {
+		t.Fatal("rebind onto a pruned graph should fail")
+	}
+	// Same shape, different endpoints.
+	swapped := graph.New(g.NumVertices())
+	for i, e := range g.Edges() {
+		if i == 0 {
+			u := (e.V + 1) % g.NumVertices()
+			if u == e.V {
+				u = (e.V + 2) % g.NumVertices()
+			}
+			swapped.AddEdge(u, e.V, e.Capacity)
+			continue
+		}
+		swapped.AddEdge(e.U, e.V, e.Capacity)
+	}
+	if _, err := ps.Rebind(swapped); err == nil {
+		t.Fatal("rebind onto a graph with different endpoints should fail")
+	}
+	// An exact clone is fine.
+	if _, err := ps.Rebind(g.Clone()); err != nil {
+		t.Fatalf("rebind onto a clone: %v", err)
+	}
+}

@@ -176,6 +176,28 @@ func (g *Graph) String() string {
 	return fmt.Sprintf("graph{n=%d m=%d cap=%.0f}", g.n, len(g.edges), g.TotalCapacity())
 }
 
+// ScaleCapacities returns a copy of g with each edge's capacity multiplied by
+// mult[id] (edges absent from mult keep their capacity). Multipliers must be
+// positive: a zero effective capacity means the edge is gone, which callers
+// model by pruning (RemoveEdges / path-system WithoutEdges), not by scaling.
+// Edge IDs, endpoints, and adjacency are identical to g, so paths and
+// congestion vectors over g remain valid over the scaled view — this is the
+// derived graph partial-capacity events are re-optimized against.
+func ScaleCapacities(g *Graph, mult map[int]float64) *Graph {
+	h := New(g.n)
+	for _, e := range g.edges {
+		c := e.Capacity
+		if m, ok := mult[e.ID]; ok {
+			if m <= 0 {
+				panic(fmt.Sprintf("graph: non-positive capacity multiplier %v for edge %d", m, e.ID))
+			}
+			c *= m
+		}
+		h.AddEdge(e.U, e.V, c)
+	}
+	return h
+}
+
 // RemoveEdges returns a copy of g without the given edges, plus the mapping
 // from old edge IDs to new ones (-1 for removed edges). Used by the failure
 // experiments: the surviving network is a fresh graph with dense IDs.

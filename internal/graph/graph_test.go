@@ -167,6 +167,42 @@ func TestRemoveEdges(t *testing.T) {
 	}
 }
 
+func TestScaleCapacities(t *testing.T) {
+	g := line(t, 4)
+	g.AddEdge(0, 3, 2.5) // edge 3
+	h := ScaleCapacities(g, map[int]float64{1: 0.5, 3: 0.2})
+	if h.NumVertices() != g.NumVertices() || h.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: %dx%d vs %dx%d",
+			h.NumVertices(), h.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for id := 0; id < g.NumEdges(); id++ {
+		a, b := g.Edge(id), h.Edge(id)
+		if a.U != b.U || a.V != b.V || a.ID != b.ID {
+			t.Fatalf("edge %d identity changed: %+v vs %+v", id, a, b)
+		}
+	}
+	if c := h.Edge(1).Capacity; c != 0.5 {
+		t.Fatalf("edge 1 capacity %v, want 0.5", c)
+	}
+	if c := h.Edge(3).Capacity; c != 0.5 {
+		t.Fatalf("edge 3 capacity %v, want 2.5*0.2", c)
+	}
+	if c := h.Edge(0).Capacity; c != 1 {
+		t.Fatalf("unlisted edge 0 capacity %v, want untouched", c)
+	}
+	// The original is untouched.
+	if g.Edge(1).Capacity != 1 || g.Edge(3).Capacity != 2.5 {
+		t.Fatal("ScaleCapacities mutated the original graph")
+	}
+	// Non-positive multipliers are a programming error, not a failure mode.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero multiplier should panic (use RemoveEdges for failures)")
+		}
+	}()
+	ScaleCapacities(g, map[int]float64{0: 0})
+}
+
 func TestPathVerticesAndValidate(t *testing.T) {
 	g := line(t, 4)
 	p := Path{Src: 0, Dst: 3, EdgeIDs: []int{0, 1, 2}}

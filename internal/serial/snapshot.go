@@ -14,10 +14,11 @@ import (
 
 // SnapshotVersion is the current snapshot wire-format version. Decoders
 // reject snapshots written by a newer format. Version 2 added the
-// failed-edge set, so an engine snapshotted while links are down restores
-// straight into the same degraded link state (v1 snapshots decode with no
-// failures).
-const SnapshotVersion = 2
+// failed-edge set; version 3 added the partial-capacity overrides of the
+// degraded-but-alive edges, so an engine snapshotted mid-drill restores
+// straight into the same capacity-degraded link state (v1 and v2 snapshots
+// still decode, with no failures / no overrides respectively).
+const SnapshotVersion = 3
 
 // Snapshot bundles everything the online routing service needs to restart
 // without redoing the offline phase: the topology, the sampled path system,
@@ -39,20 +40,31 @@ type Snapshot struct {
 	// currently failed edges are stored too — a later restore of the link
 	// brings them back without resampling.
 	System *core.PathSystem
-	// FailedEdges is the sorted set of edge IDs that were failed when the
-	// snapshot was taken (v2; empty for v1 snapshots).
+	// FailedEdges is the sorted set of edge IDs that were failed (effective
+	// capacity zero) when the snapshot was taken (v2; empty for v1).
 	FailedEdges []int
+	// Capacities maps degraded-but-alive edges to their effective-capacity
+	// multiplier, strictly inside (0,1) (v3; empty for v1/v2). Failed edges
+	// live in FailedEdges, never here.
+	Capacities map[int]float64
+}
+
+// EdgeCapacityJSON is one degraded edge on the wire.
+type EdgeCapacityJSON struct {
+	Edge     int     `json:"edge"`
+	Capacity float64 `json:"capacity"`
 }
 
 // SnapshotJSON is the snapshot wire format.
 type SnapshotJSON struct {
-	Version int            `json:"version"`
-	Router  string         `json:"router"`
-	R       int            `json:"r"`
-	Seed    uint64         `json:"seed"`
-	Graph   GraphJSON      `json:"graph"`
-	System  PathSystemJSON `json:"system"`
-	Failed  []int          `json:"failed_edges,omitempty"`
+	Version  int                `json:"version"`
+	Router   string             `json:"router"`
+	R        int                `json:"r"`
+	Seed     uint64             `json:"seed"`
+	Graph    GraphJSON          `json:"graph"`
+	System   PathSystemJSON     `json:"system"`
+	Failed   []int              `json:"failed_edges,omitempty"`
+	Degraded []EdgeCapacityJSON `json:"degraded_edges,omitempty"`
 }
 
 // EncodeSnapshot writes s as JSON.
@@ -62,6 +74,7 @@ func EncodeSnapshot(w io.Writer, s *Snapshot) error {
 	}
 	failed := append([]int(nil), s.FailedEdges...)
 	sort.Ints(failed)
+	failedSet := make(map[int]bool, len(failed))
 	for i, id := range failed {
 		if id < 0 || id >= s.Graph.NumEdges() {
 			return fmt.Errorf("serial: snapshot failed edge %d outside graph with %d edges", id, s.Graph.NumEdges())
@@ -69,15 +82,31 @@ func EncodeSnapshot(w io.Writer, s *Snapshot) error {
 		if i > 0 && failed[i-1] == id {
 			return fmt.Errorf("serial: snapshot failed edge %d listed twice", id)
 		}
+		failedSet[id] = true
 	}
+	degraded := make([]EdgeCapacityJSON, 0, len(s.Capacities))
+	for id, c := range s.Capacities {
+		if id < 0 || id >= s.Graph.NumEdges() {
+			return fmt.Errorf("serial: snapshot degraded edge %d outside graph with %d edges", id, s.Graph.NumEdges())
+		}
+		if failedSet[id] {
+			return fmt.Errorf("serial: snapshot edge %d both failed and degraded", id)
+		}
+		if c <= 0 || c >= 1 {
+			return fmt.Errorf("serial: snapshot degraded edge %d has capacity multiplier %v outside (0,1)", id, c)
+		}
+		degraded = append(degraded, EdgeCapacityJSON{Edge: id, Capacity: c})
+	}
+	sort.Slice(degraded, func(i, j int) bool { return degraded[i].Edge < degraded[j].Edge })
 	out := SnapshotJSON{
-		Version: SnapshotVersion,
-		Router:  s.Router,
-		R:       s.R,
-		Seed:    s.Seed,
-		Graph:   GraphToJSON(s.Graph),
-		System:  PathSystemToJSON(s.System),
-		Failed:  failed,
+		Version:  SnapshotVersion,
+		Router:   s.Router,
+		R:        s.R,
+		Seed:     s.Seed,
+		Graph:    GraphToJSON(s.Graph),
+		System:   PathSystemToJSON(s.System),
+		Failed:   failed,
+		Degraded: degraded,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -102,12 +131,34 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serial: snapshot system: %w", err)
 	}
+	failedSet := make(map[int]bool, len(in.Failed))
 	for _, id := range in.Failed {
 		if id < 0 || id >= g.NumEdges() {
 			return nil, fmt.Errorf("serial: snapshot failed edge %d outside graph with %d edges", id, g.NumEdges())
 		}
+		failedSet[id] = true
 	}
-	return &Snapshot{Router: in.Router, R: in.R, Seed: in.Seed, Graph: g, System: ps, FailedEdges: in.Failed}, nil
+	var caps map[int]float64
+	if len(in.Degraded) > 0 {
+		caps = make(map[int]float64, len(in.Degraded))
+		for _, ec := range in.Degraded {
+			if ec.Edge < 0 || ec.Edge >= g.NumEdges() {
+				return nil, fmt.Errorf("serial: snapshot degraded edge %d outside graph with %d edges", ec.Edge, g.NumEdges())
+			}
+			if failedSet[ec.Edge] {
+				return nil, fmt.Errorf("serial: snapshot edge %d both failed and degraded", ec.Edge)
+			}
+			if _, dup := caps[ec.Edge]; dup {
+				return nil, fmt.Errorf("serial: snapshot degraded edge %d listed twice", ec.Edge)
+			}
+			if ec.Capacity <= 0 || ec.Capacity >= 1 {
+				return nil, fmt.Errorf("serial: snapshot degraded edge %d has capacity multiplier %v outside (0,1)", ec.Edge, ec.Capacity)
+			}
+			caps[ec.Edge] = ec.Capacity
+		}
+	}
+	return &Snapshot{Router: in.Router, R: in.R, Seed: in.Seed, Graph: g, System: ps,
+		FailedEdges: in.Failed, Capacities: caps}, nil
 }
 
 // PathSystemHash returns a deterministic FNV-1a digest of the system's

@@ -158,7 +158,7 @@ func TestSnapshotFailedEdgesRoundTrip(t *testing.T) {
 	}
 
 	// A v1 document (version field 1, no failed_edges) still decodes.
-	v1 := strings.Replace(clean.String(), `"version": 2`, `"version": 1`, 1)
+	v1 := strings.Replace(clean.String(), `"version": 3`, `"version": 1`, 1)
 	if v1 == clean.String() {
 		t.Fatal("version field not found for v1 rewrite")
 	}
@@ -189,5 +189,182 @@ func TestSnapshotFailedEdgesRoundTrip(t *testing.T) {
 	}
 	if _, err := DecodeSnapshot(bytes.NewReader(raw)); err == nil {
 		t.Fatal("decode accepted out-of-range failed edge")
+	}
+}
+
+// TestSnapshotCapacityOverridesRoundTrip covers the v3 additions: fractional
+// capacity overrides survive the round trip sorted by edge, stay disjoint
+// from the failed set, an empty override map omits the key, and malformed
+// override sets are rejected on both encode and decode.
+func TestSnapshotCapacityOverridesRoundTrip(t *testing.T) {
+	g := gen.Hypercube(3)
+	router := oblivious.NewSPF(g)
+	ps, err := core.RSample(router, core.AllPairs(g.NumVertices()), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &Snapshot{Router: "spf", R: 2, Seed: 3, Graph: g, System: ps,
+		FailedEdges: []int{2},
+		Capacities:  map[int]float64{5: 0.5, 1: 0.25}}
+
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Capacities) != 2 || got.Capacities[1] != 0.25 || got.Capacities[5] != 0.5 {
+		t.Fatalf("capacities %v, want {1:0.25 5:0.5}", got.Capacities)
+	}
+	if len(got.FailedEdges) != 1 || got.FailedEdges[0] != 2 {
+		t.Fatalf("failed edges %v, want [2]", got.FailedEdges)
+	}
+	if PathSystemHash(got.System) != PathSystemHash(ps) {
+		t.Fatal("hash not invariant with overrides present")
+	}
+	// Overrides appear on the wire sorted by edge, and re-encoding the decoded
+	// snapshot is byte-identical (canonical fixpoint).
+	if i, j := strings.Index(buf.String(), `"edge": 1`), strings.Index(buf.String(), `"edge": 5`); i < 0 || j < 0 || i > j {
+		t.Fatalf("degraded edges not sorted on the wire (offsets %d, %d)", i, j)
+	}
+	var buf2 bytes.Buffer
+	if err := EncodeSnapshot(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-encode with overrides not canonical")
+	}
+
+	// No overrides: the key is omitted.
+	var clean bytes.Buffer
+	if err := EncodeSnapshot(&clean, &Snapshot{Router: "spf", R: 2, Seed: 3, Graph: g, System: ps}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.String(), "degraded_edges") {
+		t.Fatal("empty override map should be omitted")
+	}
+
+	// Encode rejects out-of-range multipliers, unknown edges, and overlap with
+	// the failed set — zero-capacity edges belong in FailedEdges.
+	for i, bad := range []*Snapshot{
+		{Router: "spf", R: 2, Seed: 3, Graph: g, System: ps, Capacities: map[int]float64{0: 0}},
+		{Router: "spf", R: 2, Seed: 3, Graph: g, System: ps, Capacities: map[int]float64{0: 1}},
+		{Router: "spf", R: 2, Seed: 3, Graph: g, System: ps, Capacities: map[int]float64{0: -0.5}},
+		{Router: "spf", R: 2, Seed: 3, Graph: g, System: ps, Capacities: map[int]float64{99: 0.5}},
+		{Router: "spf", R: 2, Seed: 3, Graph: g, System: ps,
+			FailedEdges: []int{0}, Capacities: map[int]float64{0: 0.5}},
+	} {
+		var b bytes.Buffer
+		if err := EncodeSnapshot(&b, bad); err == nil {
+			t.Fatalf("case %d: encode accepted bad overrides %v", i, bad.Capacities)
+		}
+	}
+
+	// Decode rejects the same classes plus duplicate entries.
+	var doc map[string]any
+	if err := json.Unmarshal(clean.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for i, bad := range []any{
+		[]map[string]any{{"edge": 0, "capacity": 1.5}},
+		[]map[string]any{{"edge": 99, "capacity": 0.5}},
+		[]map[string]any{{"edge": 0, "capacity": 0.5}, {"edge": 0, "capacity": 0.25}},
+	} {
+		doc["degraded_edges"] = bad
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeSnapshot(bytes.NewReader(raw)); err == nil {
+			t.Fatalf("case %d: decode accepted bad overrides %v", i, bad)
+		}
+	}
+	doc["degraded_edges"] = []map[string]any{{"edge": 0, "capacity": 0.5}}
+	doc["failed_edges"] = []int{0}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(bytes.NewReader(raw)); err == nil {
+		t.Fatal("decode accepted an edge both failed and degraded")
+	}
+}
+
+// TestSnapshotCrossVersionDecode pins backward compatibility: documents in
+// the v1 and v2 wire formats decode under the current decoder to the same
+// path system (identical hash) with the link state each version could
+// express — no failures/overrides for v1, failures only for v2.
+func TestSnapshotCrossVersionDecode(t *testing.T) {
+	g := gen.Hypercube(3)
+	router := oblivious.NewSPF(g)
+	ps, err := core.RSample(router, core.AllPairs(g.NumVertices()), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PathSystemHash(ps)
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, &Snapshot{Router: "spf", R: 2, Seed: 3, Graph: g, System: ps,
+		FailedEdges: []int{4}, Capacities: map[int]float64{7: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+
+	// v1: no failed_edges, no degraded_edges.
+	v1 := map[string]any{}
+	for k, v := range doc {
+		v1[k] = v
+	}
+	v1["version"] = 1
+	delete(v1, "failed_edges")
+	delete(v1, "degraded_edges")
+	raw, err := json.Marshal(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := DecodeSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("v1 decode: %v", err)
+	}
+	if PathSystemHash(old.System) != want {
+		t.Fatal("v1 decode changed the path-system hash")
+	}
+	if len(old.FailedEdges) != 0 || len(old.Capacities) != 0 {
+		t.Fatalf("v1 snapshot carries link state: failed=%v caps=%v", old.FailedEdges, old.Capacities)
+	}
+
+	// v2: failed_edges only.
+	v2 := map[string]any{}
+	for k, v := range doc {
+		v2[k] = v
+	}
+	v2["version"] = 2
+	delete(v2, "degraded_edges")
+	raw, err = json.Marshal(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := DecodeSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("v2 decode: %v", err)
+	}
+	if PathSystemHash(mid.System) != want {
+		t.Fatal("v2 decode changed the path-system hash")
+	}
+	if len(mid.FailedEdges) != 1 || mid.FailedEdges[0] != 4 || len(mid.Capacities) != 0 {
+		t.Fatalf("v2 snapshot state: failed=%v caps=%v, want failed=[4] only", mid.FailedEdges, mid.Capacities)
+	}
+
+	// The full v3 document round-trips all of it.
+	cur, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PathSystemHash(cur.System) != want || len(cur.FailedEdges) != 1 || cur.Capacities[7] != 0.5 {
+		t.Fatalf("v3 decode state: failed=%v caps=%v", cur.FailedEdges, cur.Capacities)
 	}
 }

@@ -67,10 +67,17 @@ type Health struct {
 	Epoch uint64 `json:"epoch"`
 	// LinkVersion counts applied topology events.
 	LinkVersion uint64 `json:"link_version"`
-	// FailedEdges is the failed edge-ID set, sorted.
+	// FailedEdges is the failed (zero-capacity) edge-ID set, sorted.
 	FailedEdges []int `json:"failed_edges"`
+	// DegradedEdges lists edges serving at reduced capacity — multiplier in
+	// (0,1), distinct from failed — sorted by edge ID.
+	DegradedEdges []EdgeCapacity `json:"degraded_edges,omitempty"`
 	// UncoveredPairs counts installed pairs with zero surviving candidates.
 	UncoveredPairs int `json:"uncovered_pairs"`
+	// AtRiskPairs counts pairs down to a single surviving candidate (one
+	// more failure disconnects them; proactive recovery could not widen
+	// them).
+	AtRiskPairs int `json:"at_risk_pairs,omitempty"`
 	// DegradedSeconds is cumulative wall time spent degraded.
 	DegradedSeconds float64 `json:"degraded_seconds"`
 	// LastOutcome reports the most recently finished epoch, if any —
@@ -101,6 +108,11 @@ type Engine struct {
 	pool    *par.Pool
 	adapt   adaptFunc
 
+	// original is the startup path system (sampled or restored), immutable.
+	// The compaction pass GCs accumulated recovery paths back toward it once
+	// the failed edges that motivated them are healthy again.
+	original *core.PathSystem
+
 	active atomic.Pointer[State]
 	// links is the current link state: failed-edge set, pruned serving
 	// system, recovery paths, hash. Readers are lock-free; writers serialize
@@ -128,10 +140,11 @@ type Engine struct {
 
 // New builds an engine: it samples the path system (offline phase) unless
 // cfg.System already carries one, then starts the bounded solver pool. A
-// non-empty cfg.FailedEdges (typically from a snapshot taken while degraded)
-// starts the engine directly in the matching degraded link state — the
-// installed paths are served pruned, with no recovery resampling, so a
-// restore reproduces the snapshotted system hash exactly.
+// non-empty cfg.FailedEdges or cfg.CapacityOverrides (typically from a
+// snapshot taken while degraded) starts the engine directly in the matching
+// degraded link state — the installed paths are served pruned (failures) or
+// against the capacity-scaled view (fractional overrides), with no recovery
+// resampling, so a restore reproduces the snapshotted system hash exactly.
 func New(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Graph == nil {
@@ -157,29 +170,46 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:      cfg,
 		adapt:    defaultAdapt,
+		original: system,
 		outcomes: make(map[uint64]*Outcome),
 		pending:  make(map[uint64]struct{}),
 		waiters:  make(map[uint64][]chan *Outcome),
 	}
-	failed := make(map[int]bool, len(cfg.FailedEdges))
+	capacity := make(map[int]float64, len(cfg.FailedEdges)+len(cfg.CapacityOverrides))
 	for _, id := range cfg.FailedEdges {
 		if id < 0 || id >= cfg.Graph.NumEdges() {
 			return nil, fmt.Errorf("%w: %d (graph has %d edges)", ErrUnknownEdge, id, cfg.Graph.NumEdges())
 		}
-		failed[id] = true
+		capacity[id] = 0
+	}
+	for id, c := range cfg.CapacityOverrides {
+		if id < 0 || id >= cfg.Graph.NumEdges() {
+			return nil, fmt.Errorf("%w: %d (graph has %d edges)", ErrUnknownEdge, id, cfg.Graph.NumEdges())
+		}
+		if _, dead := capacity[id]; dead {
+			return nil, fmt.Errorf("service: edge %d both failed and capacity-degraded", id)
+		}
+		if c <= 0 || c >= 1 {
+			return nil, fmt.Errorf("service: capacity override for edge %d must be inside (0,1), got %v (use FailedEdges for 0)", id, c)
+		}
+		capacity[id] = c
 	}
 	ls := &linkState{
 		version:   1,
-		failed:    failed,
+		capacity:  capacity,
 		installed: system,
 		serving:   system,
 		hash:      serial.PathSystemHash(system),
 	}
-	if len(failed) > 0 {
-		ls.serving = system.WithoutEdges(failed)
+	ls.failed = failedSubset(capacity)
+	if len(ls.failed) > 0 {
+		ls.serving = system.WithoutEdges(ls.failed)
+	}
+	if ls.degraded() {
 		e.degradedSince = time.Now()
 	}
 	ls.uncovered = ls.serving.UncoveredPairs(system.Pairs())
+	e.finalizeLinkState(ls)
 	e.links.Store(ls)
 	e.rootCtx, e.stop = context.WithCancel(context.Background())
 	e.metrics = newMetrics(e)
@@ -189,8 +219,8 @@ func New(cfg Config) (*Engine, error) {
 
 // Restore builds an engine from a snapshot stream: the offline phase is
 // skipped and the stored path system serves as-is, under the stored
-// failed-edge set. Sampling metadata from the snapshot overrides the
-// corresponding cfg fields.
+// failed-edge set and capacity overrides. Sampling metadata from the
+// snapshot overrides the corresponding cfg fields.
 func Restore(r io.Reader, cfg Config) (*Engine, error) {
 	snap, err := serial.DecodeSnapshot(r)
 	if err != nil {
@@ -202,6 +232,7 @@ func Restore(r io.Reader, cfg Config) (*Engine, error) {
 	cfg.R = snap.R
 	cfg.Seed = snap.Seed
 	cfg.FailedEdges = snap.FailedEdges
+	cfg.CapacityOverrides = snap.Capacities
 	return New(cfg)
 }
 
@@ -214,8 +245,10 @@ func (e *Engine) System() *core.PathSystem { return e.links.Load().serving }
 func (e *Engine) InstalledSystem() *core.PathSystem { return e.links.Load().installed }
 
 // Hash returns the canonical digest of the installed path system (see
-// serial.PathSystemHash). It changes only when recovery resampling installs
-// fresh paths, never on pure fail/restore events.
+// serial.PathSystemHash). It changes only when the installed set changes —
+// recovery/proactive resampling installing fresh paths, or compaction
+// dropping accumulated ones — never on a pure prune, and a fully restored
+// engine compacts back to exactly the startup hash.
 func (e *Engine) Hash() uint64 { return e.links.Load().hash }
 
 // Metrics returns the engine's metrics registry.
@@ -239,7 +272,9 @@ func (e *Engine) Health() *Health {
 		Status:          HealthOK,
 		LinkVersion:     ls.version,
 		FailedEdges:     ls.failedSorted(),
+		DegradedEdges:   ls.degradedCaps,
 		UncoveredPairs:  len(ls.uncovered),
+		AtRiskPairs:     len(ls.atRisk),
 		DegradedSeconds: e.DegradedSeconds(),
 	}
 	if st := e.Active(); st != nil {
@@ -355,7 +390,7 @@ func (e *Engine) solve(epoch uint64, d *demand.Demand) {
 	out.Latency = time.Since(start)
 	switch {
 	case err == nil:
-		cong := r.MaxCongestion(e.cfg.Graph)
+		cong := r.MaxCongestion(ls.effectiveGraph(e.cfg.Graph))
 		e.publish(&State{
 			Epoch:      epoch,
 			Demand:     served,
@@ -400,7 +435,10 @@ func (e *Engine) solve(epoch uint64, d *demand.Demand) {
 // stays serving). Retries beyond the first attempt are counted in
 // out.Retries and the solve_retries metric.
 func (e *Engine) adaptWithRetry(ctx context.Context, ls *linkState, d *demand.Demand, out *Outcome) (flow.Routing, error) {
-	r, err := e.adapt(ctx, ls.serving, d, e.cfg.Adapt)
+	// ls.adaptive is the serving system rebound over the capacity-scaled
+	// topology view when fractional overrides exist: same candidates, reduced
+	// congestion denominators, so a degraded link is routed around softly.
+	r, err := e.adapt(ctx, ls.adaptive, d, e.cfg.Adapt)
 	if err == nil || ctx.Err() != nil || e.cfg.SolveRetries < 0 {
 		return r, err
 	}
@@ -418,7 +456,7 @@ func (e *Engine) adaptWithRetry(ctx context.Context, ls *linkState, d *demand.De
 	// Stage 2: force the MWU solver with default options.
 	if retry(0) {
 		mwu := core.AdaptOptions{ExactThreshold: -1}
-		if r, err = e.adapt(ctx, ls.serving, d, &mwu); err == nil || ctx.Err() != nil {
+		if r, err = e.adapt(ctx, ls.adaptive, d, &mwu); err == nil || ctx.Err() != nil {
 			return r, err
 		}
 	}
@@ -434,10 +472,32 @@ func (e *Engine) adaptWithRetry(ctx context.Context, ls *linkState, d *demand.De
 	return nil, firstErr
 }
 
-// backoff sleeps the stage's share of the exponential backoff schedule,
-// returning false when ctx fires first.
+// maxRetryBackoff caps one backoff sleep regardless of the configured base
+// and stage.
+const maxRetryBackoff = 30 * time.Second
+
+// retryDelay computes the stage's share of the exponential backoff schedule:
+// base << stage, with the shift clamped (stage 16) and a hard ceiling, so a
+// large configured SolveRetries cannot shift the duration into overflow —
+// which would read as a negative (no-sleep) backoff — or an absurd wait.
+func retryDelay(base time.Duration, stage int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if stage > 16 {
+		stage = 16
+	}
+	d := base << stage
+	if d <= 0 || d > maxRetryBackoff {
+		return maxRetryBackoff
+	}
+	return d
+}
+
+// backoff sleeps the stage's share of the backoff schedule, returning false
+// when ctx fires first.
 func (e *Engine) backoff(ctx context.Context, stage int) bool {
-	d := e.cfg.RetryBackoff << stage
+	d := retryDelay(e.cfg.RetryBackoff, stage)
 	if d <= 0 {
 		return ctx.Err() == nil
 	}
@@ -486,9 +546,9 @@ func (e *Engine) finish(out *Outcome) {
 }
 
 // WriteSnapshot encodes the engine's topology, installed path system
-// (startup sample plus recovery paths), failed-edge set, and sampling
-// metadata, so a future engine can Restore straight into the same link
-// state without resampling.
+// (startup sample plus recovery paths), failed-edge set, capacity
+// overrides, and sampling metadata, so a future engine can Restore straight
+// into the same link state without resampling.
 func (e *Engine) WriteSnapshot(w io.Writer) error {
 	ls := e.links.Load()
 	return serial.EncodeSnapshot(w, &serial.Snapshot{
@@ -498,6 +558,7 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 		Graph:       e.cfg.Graph,
 		System:      ls.installed,
 		FailedEdges: ls.failedSorted(),
+		Capacities:  ls.fractionalOverrides(),
 	})
 }
 

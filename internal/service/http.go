@@ -22,12 +22,16 @@ import (
 //	GET  /v1/paths         candidate paths + live rates for ?src=&dst=
 //	GET  /v1/routing       the full active routing
 //	POST /v1/links         apply a topology event: {"fail":[ids]},
-//	                       {"restore":[ids]}, or {"set":[ids]} (replace)
+//	                       {"restore":[ids]}, {"set":[ids]} (replace), or
+//	                       {"edge":id,"capacity":c} (effective-capacity
+//	                       override: 0 fails the edge, (0,1) degrades it,
+//	                       >=1 restores full capacity)
 //	GET  /v1/links         the current link state
 //	POST /v1/snapshot      persist the path system to the snapshot file
 //	GET  /debug/vars       expvar metrics
-//	GET  /healthz          ok / degraded (failed edges, uncovered pairs) /
-//	                       503 closed, plus the last epoch outcome
+//	GET  /healthz          ok / degraded (failed or capacity-degraded edges,
+//	                       uncovered pairs) / 503 closed, plus the last epoch
+//	                       outcome
 type Server struct {
 	engine       *Engine
 	snapshotPath string
@@ -241,23 +245,31 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// linksRequest is the POST /v1/links body. Exactly one of Set, or any
-// combination of Fail/Restore, may be used per event.
+// linksRequest is the POST /v1/links body. Exactly one of Set, a capacity
+// override (Edge+Capacity together), or any combination of Fail/Restore, may
+// be used per event.
 type linksRequest struct {
-	Fail    []int `json:"fail"`
-	Restore []int `json:"restore"`
-	Set     []int `json:"set"`
+	Fail     []int    `json:"fail"`
+	Restore  []int    `json:"restore"`
+	Set      []int    `json:"set"`
+	Edge     *int     `json:"edge"`
+	Capacity *float64 `json:"capacity"`
 }
 
 // linksResponse reports the applied (or current) link state.
 type linksResponse struct {
-	Version        uint64 `json:"version"`
-	FailedEdges    []int  `json:"failed_edges"`
-	UncoveredPairs int    `json:"uncovered_pairs"`
-	RecoveredPairs int    `json:"recovered_pairs,omitempty"`
-	RecoveryPaths  int    `json:"recovery_paths,omitempty"`
-	Status         string `json:"status"`
-	Hash           string `json:"hash"`
+	Version        uint64         `json:"version"`
+	FailedEdges    []int          `json:"failed_edges"`
+	DegradedEdges  []EdgeCapacity `json:"degraded_edges,omitempty"`
+	UncoveredPairs int            `json:"uncovered_pairs"`
+	AtRiskPairs    int            `json:"at_risk_pairs,omitempty"`
+	RecoveredPairs int            `json:"recovered_pairs,omitempty"`
+	RecoveryPaths  int            `json:"recovery_paths,omitempty"`
+	ProactivePairs int            `json:"proactive_pairs,omitempty"`
+	ProactivePaths int            `json:"proactive_paths,omitempty"`
+	CompactedPaths int            `json:"compacted_paths,omitempty"`
+	Status         string         `json:"status"`
+	Hash           string         `json:"hash"`
 }
 
 func (s *Server) linksJSON(u *LinkUpdate) linksResponse {
@@ -268,9 +280,14 @@ func (s *Server) linksJSON(u *LinkUpdate) linksResponse {
 	return linksResponse{
 		Version:        u.Version,
 		FailedEdges:    u.FailedEdges,
+		DegradedEdges:  u.DegradedEdges,
 		UncoveredPairs: u.UncoveredPairs,
+		AtRiskPairs:    u.AtRiskPairs,
 		RecoveredPairs: u.RecoveredPairs,
 		RecoveryPaths:  u.RecoveryPaths,
+		ProactivePairs: u.ProactivePairs,
+		ProactivePaths: u.ProactivePaths,
+		CompactedPaths: u.CompactedPaths,
 		Status:         status,
 		Hash:           fmt.Sprintf("%016x", s.engine.Hash()),
 	}
@@ -282,23 +299,41 @@ func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding link event: %v", err)
 		return
 	}
-	if req.Set != nil && (req.Fail != nil || req.Restore != nil) {
-		writeError(w, http.StatusBadRequest, "use either set or fail/restore, not both")
+	capEvent := req.Edge != nil || req.Capacity != nil
+	if capEvent && (req.Edge == nil || req.Capacity == nil) {
+		writeError(w, http.StatusBadRequest, "capacity event needs both edge and capacity")
 		return
 	}
-	if req.Set == nil && req.Fail == nil && req.Restore == nil {
-		writeError(w, http.StatusBadRequest, "link event needs fail, restore, or set")
+	kinds := 0
+	if req.Set != nil {
+		kinds++
+	}
+	if req.Fail != nil || req.Restore != nil {
+		kinds++
+	}
+	if capEvent {
+		kinds++
+	}
+	if kinds > 1 {
+		writeError(w, http.StatusBadRequest, "use exactly one of set, fail/restore, or edge+capacity")
+		return
+	}
+	if kinds == 0 {
+		writeError(w, http.StatusBadRequest, "link event needs fail, restore, set, or edge+capacity")
 		return
 	}
 	var update *LinkUpdate
 	var err error
-	if req.Set != nil {
+	switch {
+	case capEvent:
+		update, err = s.engine.SetCapacity(*req.Edge, *req.Capacity)
+	case req.Set != nil:
 		update, err = s.engine.SetLinkState(req.Set)
-	} else {
+	default:
 		update, err = s.engine.UpdateLinks(req.Fail, req.Restore)
 	}
 	switch {
-	case errors.Is(err, ErrUnknownEdge):
+	case errors.Is(err, ErrUnknownEdge), errors.Is(err, ErrBadCapacity):
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	case errors.Is(err, ErrClosed):

@@ -348,11 +348,16 @@ func TestServerLinksEndpoint(t *testing.T) {
 
 	// Malformed bodies and unknown edges are 400s.
 	for _, bad := range []string{
-		`{`,                      // not JSON
-		`{}`,                     // no directive at all
-		`{"set":[1],"fail":[2]}`, // set is exclusive
-		`{"fail":[99999]}`,       // unknown edge
-		`{"restore":[-1]}`,       // unknown edge
+		`{`,                                    // not JSON
+		`{}`,                                   // no directive at all
+		`{"set":[1],"fail":[2]}`,               // set is exclusive
+		`{"fail":[99999]}`,                     // unknown edge
+		`{"restore":[-1]}`,                     // unknown edge
+		`{"edge":0}`,                           // capacity missing
+		`{"capacity":0.5}`,                     // edge missing
+		`{"edge":0,"capacity":0.5,"fail":[1]}`, // capacity is exclusive
+		`{"edge":99999,"capacity":0.5}`,        // unknown edge
+		`{"edge":0,"capacity":-1}`,             // bad multiplier
 	} {
 		if code, body := postJSON(t, ts.URL+"/v1/links", bad); code != http.StatusBadRequest {
 			t.Fatalf("body %q: code %d %v, want 400", bad, code, body)
@@ -363,6 +368,61 @@ func TestServerLinksEndpoint(t *testing.T) {
 	e.Close()
 	if code, _ := postJSON(t, ts.URL+"/v1/links", `{"fail":[1]}`); code != http.StatusServiceUnavailable {
 		t.Fatalf("closed engine link event: code %d, want 503", code)
+	}
+}
+
+// TestServerCapacityEvents drives the brownout drill over HTTP: degrade,
+// observe the reported link state and health, recover.
+func TestServerCapacityEvents(t *testing.T) {
+	_, _, ts := testServer(t, Config{Seed: 11}, "")
+
+	code, body := postJSON(t, ts.URL+"/v1/links", `{"edge":0,"capacity":0.5}`)
+	if code != http.StatusOK || body["status"] != "degraded" {
+		t.Fatalf("capacity event: %d %v", code, body)
+	}
+	if edges, _ := body["failed_edges"].([]any); len(edges) != 0 {
+		t.Fatalf("capacity degradation must not fail edges: %v", body["failed_edges"])
+	}
+	degraded, _ := body["degraded_edges"].([]any)
+	if len(degraded) != 1 {
+		t.Fatalf("degraded_edges %v, want one entry", body["degraded_edges"])
+	}
+	entry := degraded[0].(map[string]any)
+	if entry["edge"].(float64) != 0 || entry["capacity"].(float64) != 0.5 {
+		t.Fatalf("degraded entry %v", entry)
+	}
+
+	// GET /v1/links and /healthz report the override too.
+	if code, got := getJSON(t, ts.URL+"/v1/links"); code != http.StatusOK || got["status"] != "degraded" {
+		t.Fatalf("links while degraded: %d %v", code, got)
+	}
+	code, h := getJSON(t, ts.URL+"/healthz")
+	if code != http.StatusOK || h["status"] != "degraded" {
+		t.Fatalf("healthz while capacity-degraded: %d %v", code, h)
+	}
+	if got, _ := h["degraded_edges"].([]any); len(got) != 1 {
+		t.Fatalf("healthz degraded_edges %v", h["degraded_edges"])
+	}
+	if got, _ := h["failed_edges"].([]any); len(got) != 0 {
+		t.Fatalf("healthz failed_edges %v, want none", h["failed_edges"])
+	}
+
+	// Metrics expose the gauge and the counter.
+	code, vars := getJSON(t, ts.URL+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("vars: %d", code)
+	}
+	if vars["degraded_edges"].(float64) != 1 || vars["capacity_events"].(float64) != 1 {
+		t.Fatalf("vars degraded_edges=%v capacity_events=%v", vars["degraded_edges"], vars["capacity_events"])
+	}
+
+	// Recover: back to ok, override gone.
+	code, body = postJSON(t, ts.URL+"/v1/links", `{"edge":0,"capacity":1}`)
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("recovery event: %d %v", code, body)
+	}
+	if got, _ := body["degraded_edges"].([]any); len(got) != 0 {
+		t.Fatalf("degraded_edges after recovery: %v", body["degraded_edges"])
 	}
 }
 

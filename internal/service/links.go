@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -13,23 +14,46 @@ import (
 	"sparseroute/internal/serial"
 )
 
-// linkState is one published version of the failed-edge set and everything
-// derived from it. Like State it is immutable once published: readers load
-// it through an atomic pointer and never take a lock; writers build a fresh
-// value under linkMu and swap it in.
+// linkState is one published version of the link-capacity state and
+// everything derived from it. Like State it is immutable once published:
+// readers load it through an atomic pointer and never take a lock; writers
+// build a fresh value under linkMu and swap it in.
 type linkState struct {
 	// version counts applied topology events, starting at 1.
 	version uint64
-	// failed is the failed edge-ID set. Never mutated after publish.
+	// capacity is the effective-capacity override layer, keyed by edge ID:
+	// 0 = failed, (0,1) = degraded, absent = healthy (full capacity).
+	// Never mutated after publish.
+	capacity map[int]float64
+	// failed is the zero-capacity subset of the override map — the set path
+	// pruning uses. Degraded-but-alive edges are NOT in it: their candidates
+	// keep serving and the solvers re-optimize congestion against the scaled
+	// view instead.
 	failed map[int]bool
+	// failedIDs is the sorted failed edge set, cached at publish time so
+	// Links()/healthz/metric scrapes never re-sort. Callers must not mutate.
+	failedIDs []int
+	// degradedCaps lists the fractional (0,1) overrides sorted by edge ID,
+	// cached at publish time. Callers must not mutate.
+	degradedCaps []EdgeCapacity
+	// scaled is the capacity-scaled view of the topology (same shape and
+	// edge IDs, reduced capacities), nil when no fractional overrides exist.
+	// Solves and congestion reports run against it so a weakened link is
+	// re-optimized around rather than pruned.
+	scaled *graph.Graph
 	// installed is the full path system: the startup sample plus every
-	// recovery-resampled path accumulated since. Paths through currently
-	// failed edges stay installed (restoring the link brings them back
-	// without resampling); only serving is pruned.
+	// recovery/proactive path retained since. Paths through currently failed
+	// edges stay installed (restoring the link brings them back without
+	// resampling); only serving is pruned. The compaction pass drops
+	// accumulated recovery extras for pairs whose original candidates are
+	// all healthy again.
 	installed *core.PathSystem
 	// serving is installed.WithoutEdges(failed): the candidates adaptation
 	// and path lookups use.
 	serving *core.PathSystem
+	// adaptive is serving rebound over scaled — the system handed to the
+	// solvers. Identical to serving when no fractional overrides exist.
+	adaptive *core.PathSystem
 	// hash is the canonical digest of installed (see serial.PathSystemHash).
 	hash uint64
 	// uncovered lists the installed pairs with zero surviving candidates
@@ -37,35 +61,82 @@ type linkState struct {
 	// diversity this is almost always exactly the pairs the surviving graph
 	// disconnects.
 	uncovered []demand.Pair
+	// atRisk lists the pairs pruning left with exactly one surviving unique
+	// candidate (while other installed candidates are dead): one more
+	// failure disconnects them. Proactive recovery targets exactly this set.
+	atRisk []demand.Pair
 }
 
-// failedSorted returns the failed edge IDs sorted ascending (never nil).
-func (ls *linkState) failedSorted() []int {
-	out := make([]int, 0, len(ls.failed))
-	for id := range ls.failed {
-		out = append(out, id)
+// EdgeCapacity reports one degraded-but-alive edge: its ID and effective-
+// capacity multiplier in (0,1).
+type EdgeCapacity struct {
+	Edge     int     `json:"edge"`
+	Capacity float64 `json:"capacity"`
+}
+
+// failedSorted returns the cached sorted failed edge IDs (never nil).
+// Callers must not mutate the returned slice.
+func (ls *linkState) failedSorted() []int { return ls.failedIDs }
+
+// degraded reports whether the link state is impaired at all — failed edges
+// or reduced capacities.
+func (ls *linkState) degraded() bool { return len(ls.capacity) > 0 }
+
+// effectiveGraph returns the graph congestion is measured against: the
+// capacity-scaled view while fractional overrides exist, base otherwise.
+func (ls *linkState) effectiveGraph(base *graph.Graph) *graph.Graph {
+	if ls.scaled != nil {
+		return ls.scaled
 	}
-	sort.Ints(out)
+	return base
+}
+
+// fractionalOverrides returns the (0,1) subset of the override map, nil when
+// none exist.
+func (ls *linkState) fractionalOverrides() map[int]float64 {
+	var out map[int]float64
+	for id, c := range ls.capacity {
+		if c > 0 {
+			if out == nil {
+				out = make(map[int]float64)
+			}
+			out[id] = c
+		}
+	}
 	return out
 }
-
-// degraded reports whether the link state is impaired at all.
-func (ls *linkState) degraded() bool { return len(ls.failed) > 0 }
 
 // LinkUpdate reports one applied topology event.
 type LinkUpdate struct {
 	// Version is the link-state version after the event.
 	Version uint64
-	// FailedEdges is the resulting failed set, sorted.
+	// FailedEdges is the resulting failed set, sorted. Shared with the
+	// published link state — callers must not mutate.
 	FailedEdges []int
+	// DegradedEdges lists the edges serving at reduced capacity (multiplier
+	// in (0,1)), sorted by edge ID. Shared with the published link state.
+	DegradedEdges []EdgeCapacity
 	// UncoveredPairs counts installed pairs left with zero candidates.
 	UncoveredPairs int
+	// AtRiskPairs counts pairs left with exactly one surviving candidate
+	// after this event (proactive recovery could not widen them).
+	AtRiskPairs int
 	// RecoveredPairs counts pairs whose coverage was restored by recovery
 	// resampling during this event.
 	RecoveredPairs int
 	// RecoveryPaths counts the fresh paths drawn during this event.
 	RecoveryPaths int
-	// Degraded reports whether any edge is failed after the event.
+	// ProactivePairs counts at-risk pairs proactive recovery resampled
+	// during this event.
+	ProactivePairs int
+	// ProactivePaths counts the fresh unique paths proactive recovery
+	// installed during this event.
+	ProactivePaths int
+	// CompactedPaths counts the accumulated recovery paths the compaction
+	// pass dropped during this event.
+	CompactedPaths int
+	// Degraded reports whether any edge is failed or capacity-reduced after
+	// the event.
 	Degraded bool
 }
 
@@ -75,7 +146,9 @@ func (e *Engine) Links() *LinkUpdate {
 	return &LinkUpdate{
 		Version:        ls.version,
 		FailedEdges:    ls.failedSorted(),
+		DegradedEdges:  ls.degradedCaps,
 		UncoveredPairs: len(ls.uncovered),
+		AtRiskPairs:    len(ls.atRisk),
 		Degraded:       ls.degraded(),
 	}
 }
@@ -85,20 +158,32 @@ func (e *Engine) Links() *LinkUpdate {
 // that lost every candidate are recovery-resampled on the surviving graph,
 // and the active demand is re-served over the survivors.
 func (e *Engine) FailEdges(ids ...int) (*LinkUpdate, error) {
-	return e.UpdateLinks(ids, nil)
+	return e.applyLinkEvent(ids, nil, nil, false)
 }
 
-// RestoreEdges marks the given edges healthy again. Candidates through them
-// (including any paths installed before the failure) immediately rejoin the
-// serving system; recovery paths drawn while the edges were down stay
-// installed as extra diversity.
+// RestoreEdges marks the given edges healthy again, clearing failures and
+// capacity overrides alike. Candidates through them (including any paths
+// installed before the failure) immediately rejoin the serving system; the
+// compaction pass drops recovery paths for pairs whose original candidates
+// are all healthy again.
 func (e *Engine) RestoreEdges(ids ...int) (*LinkUpdate, error) {
-	return e.UpdateLinks(nil, ids)
+	return e.applyLinkEvent(nil, ids, nil, false)
 }
 
-// SetLinkState replaces the failed-edge set wholesale.
+// SetLinkState replaces the failed-edge set wholesale (clearing any capacity
+// overrides not re-declared).
 func (e *Engine) SetLinkState(failed []int) (*LinkUpdate, error) {
-	return e.applyLinkEvent(failed, nil, true)
+	return e.applyLinkEvent(failed, nil, nil, true)
+}
+
+// SetCapacity applies a partial-capacity event to one edge. A multiplier of
+// 0 fails the edge outright — behavior identical to FailEdges. A multiplier
+// in (0,1) degrades it: candidates through the edge keep serving (no
+// pruning), and solves run against a capacity-scaled view of the topology so
+// congestion is re-optimized around the weakened link. A multiplier >= 1
+// restores full capacity. Negative or non-finite values are rejected.
+func (e *Engine) SetCapacity(id int, capacity float64) (*LinkUpdate, error) {
+	return e.applyLinkEvent(nil, nil, map[int]float64{id: capacity}, false)
 }
 
 // UpdateLinks applies one topology event: edges in fail go down, edges in
@@ -106,21 +191,32 @@ func (e *Engine) SetLinkState(failed []int) (*LinkUpdate, error) {
 // is versioned, the pruned system is recovered where possible, and the
 // active demand is re-adapted — see applyLinkEvent.
 func (e *Engine) UpdateLinks(fail, restore []int) (*LinkUpdate, error) {
-	return e.applyLinkEvent(fail, restore, false)
+	return e.applyLinkEvent(fail, restore, nil, false)
 }
 
 // applyLinkEvent is the single writer of the link state. Under linkMu it
-// computes the new failed set, prunes the installed system via WithoutEdges,
-// runs recovery resampling for pairs that lost all candidates, publishes the
-// new immutable linkState, and finally re-serves the active demand: an
-// immediate renormalization of the previous routing over surviving paths
-// (cheap, no solver — degraded-mode serving) followed by a full re-adapt
-// epoch through the normal solve chain.
-func (e *Engine) applyLinkEvent(fail, restore []int, replace bool) (*LinkUpdate, error) {
+// computes the new capacity-override map, prunes the installed system to the
+// zero-capacity (failed) survivors via WithoutEdges, runs recovery
+// resampling for pairs that lost all candidates, compacts accumulated
+// recovery paths, proactively resamples at-risk pairs, publishes the new
+// immutable linkState, and finally re-serves the active demand: an immediate
+// renormalization of the previous routing over surviving paths (cheap, no
+// solver — degraded-mode serving) followed by a full re-adapt epoch through
+// the normal solve chain (against the capacity-scaled view when fractional
+// overrides exist).
+func (e *Engine) applyLinkEvent(fail, restore []int, degrade map[int]float64, replace bool) (*LinkUpdate, error) {
 	m := e.cfg.Graph.NumEdges()
 	for _, id := range append(append([]int(nil), fail...), restore...) {
 		if id < 0 || id >= m {
 			return nil, fmt.Errorf("%w: %d (graph has %d edges)", ErrUnknownEdge, id, m)
+		}
+	}
+	for id, c := range degrade {
+		if id < 0 || id >= m {
+			return nil, fmt.Errorf("%w: %d (graph has %d edges)", ErrUnknownEdge, id, m)
+		}
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("%w: edge %d needs a finite value >= 0, got %v", ErrBadCapacity, id, c)
 		}
 	}
 
@@ -131,54 +227,119 @@ func (e *Engine) applyLinkEvent(fail, restore []int, replace bool) (*LinkUpdate,
 	}
 	cur := e.links.Load()
 
-	failed := make(map[int]bool, len(cur.failed)+len(fail))
+	capacity := make(map[int]float64, len(cur.capacity)+len(fail)+len(degrade))
 	if !replace {
-		for id := range cur.failed {
-			failed[id] = true
+		for id, c := range cur.capacity {
+			capacity[id] = c
 		}
 	}
 	for _, id := range fail {
-		failed[id] = true
+		capacity[id] = 0
+	}
+	for id, c := range degrade {
+		switch {
+		case c >= 1:
+			delete(capacity, id)
+		default:
+			capacity[id] = c
+		}
 	}
 	for _, id := range restore {
-		delete(failed, id)
+		delete(capacity, id)
 	}
-	if sameEdgeSet(failed, cur.failed) {
+	if sameCapacityMap(capacity, cur.capacity) {
 		// No-op event: report the current state without a version bump.
 		return &LinkUpdate{
 			Version:        cur.version,
 			FailedEdges:    cur.failedSorted(),
+			DegradedEdges:  cur.degradedCaps,
 			UncoveredPairs: len(cur.uncovered),
+			AtRiskPairs:    len(cur.atRisk),
 			Degraded:       cur.degraded(),
 		}, nil
 	}
 
 	next := &linkState{
 		version:   cur.version + 1,
-		failed:    failed,
+		capacity:  capacity,
 		installed: cur.installed,
 		hash:      cur.hash,
 	}
-	next.serving = cur.installed.WithoutEdges(failed)
-	next.uncovered = next.serving.UncoveredPairs(cur.installed.Pairs())
+	next.failed = failedSubset(capacity)
+	next.serving = next.installed.WithoutEdges(next.failed)
+	next.uncovered = next.serving.UncoveredPairs(next.installed.Pairs())
 
 	update := &LinkUpdate{Version: next.version}
 	if len(next.uncovered) > 0 {
 		e.recoverUncovered(next, update)
 	}
+	e.compactInstalled(next, update)
+	e.proactiveRecover(next, update)
+	e.finalizeLinkState(next)
 	update.FailedEdges = next.failedSorted()
+	update.DegradedEdges = next.degradedCaps
 	update.UncoveredPairs = len(next.uncovered)
+	update.AtRiskPairs = len(next.atRisk)
 	update.Degraded = next.degraded()
 
 	e.links.Store(next)
 	e.accountDegraded(next.degraded())
 	e.metrics.linkEvents.Add(1)
+	if len(degrade) > 0 {
+		e.metrics.capacityEvents.Add(1)
+	}
 
 	// Re-serve the active demand over the survivors. This runs after the
 	// publish so the interim renormalization and the re-adapt epoch both see
 	// the new link state.
 	e.reRouteActive(next)
 	return update, nil
+}
+
+// finalizeLinkState computes the derived read-side caches of next — cached
+// sorted reports, the capacity-scaled solve view, the at-risk pair list —
+// after the recovery/compaction/proactive passes settle installed/serving.
+func (e *Engine) finalizeLinkState(next *linkState) {
+	next.failedIDs = make([]int, 0, len(next.failed))
+	for id := range next.failed {
+		next.failedIDs = append(next.failedIDs, id)
+	}
+	sort.Ints(next.failedIDs)
+
+	fractional := next.fractionalOverrides()
+	next.degradedCaps = make([]EdgeCapacity, 0, len(fractional))
+	for id, c := range fractional {
+		next.degradedCaps = append(next.degradedCaps, EdgeCapacity{Edge: id, Capacity: c})
+	}
+	sort.Slice(next.degradedCaps, func(i, j int) bool {
+		return next.degradedCaps[i].Edge < next.degradedCaps[j].Edge
+	})
+
+	next.adaptive = next.serving
+	if len(fractional) > 0 {
+		next.scaled = graph.ScaleCapacities(e.cfg.Graph, fractional)
+		if rebound, err := next.serving.Rebind(next.scaled); err == nil {
+			next.adaptive = rebound
+		}
+	}
+	next.atRisk = atRiskPairs(next)
+}
+
+// atRiskPairs lists the pairs pruning left with exactly one surviving unique
+// candidate while at least one installed candidate is dead. Pairs that only
+// ever had a single unique candidate (a sparse sample, not a failure) are
+// not at risk in this sense and are left alone.
+func atRiskPairs(ls *linkState) []demand.Pair {
+	if len(ls.failed) == 0 {
+		return nil
+	}
+	var out []demand.Pair
+	for _, p := range ls.installed.Pairs() {
+		if len(ls.serving.Unique(p.U, p.V)) == 1 && len(ls.installed.Unique(p.U, p.V)) > 1 {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // recoverUncovered runs recovery resampling for next.uncovered: draw fresh
@@ -234,6 +395,155 @@ func (e *Engine) recoverUncovered(next *linkState, update *LinkUpdate) {
 	e.metrics.recoveryPaths.Add(int64(fresh.TotalPaths()))
 }
 
+// proactiveRecover resamples the pairs the event left at risk — exactly one
+// surviving unique candidate — on the survivor graph, *before* a second
+// failure can disconnect them. Fresh paths are deduplicated against the
+// installed set so a survivor graph offering no alternative route cannot
+// grow the system; a pair that gains no new unique path simply stays in the
+// at-risk report.
+func (e *Engine) proactiveRecover(next *linkState, update *LinkUpdate) {
+	atRisk := atRiskPairs(next)
+	if len(atRisk) == 0 {
+		return
+	}
+	router, err := e.survivorRouter(next.failed)
+	if err != nil {
+		e.metrics.recoveryFailed.Add(1)
+		return
+	}
+	// Salted differently from recoverUncovered so the two per-event samples
+	// are decorrelated.
+	seed := e.cfg.Seed ^ (next.version * 0x9e3779b97f4a7c15) ^ 0x5bf03635
+	fresh, err := core.RSample(router, atRisk, e.cfg.R, seed)
+	if err != nil {
+		e.metrics.recoveryFailed.Add(1)
+		return
+	}
+
+	merged := core.NewPathSystem(e.cfg.Graph)
+	if err := merged.Merge(next.installed); err != nil {
+		e.metrics.recoveryFailed.Add(1)
+		return
+	}
+	added := 0
+	for _, pr := range atRisk {
+		have := make(map[string]bool)
+		for _, p := range next.installed.Paths(pr.U, pr.V) {
+			have[p.Key()] = true
+		}
+		for _, p := range fresh.Paths(pr.U, pr.V) {
+			if have[p.Key()] {
+				continue
+			}
+			if err := merged.AddPath(p); err != nil {
+				continue
+			}
+			have[p.Key()] = true
+			added++
+		}
+	}
+	if added == 0 {
+		return
+	}
+	next.installed = merged
+	next.serving = merged.WithoutEdges(next.failed)
+	next.uncovered = next.serving.UncoveredPairs(merged.Pairs())
+	next.hash = serial.PathSystemHash(merged)
+
+	update.ProactivePairs = len(atRisk)
+	update.ProactivePaths = added
+	e.metrics.proactiveResamples.Add(1)
+	e.metrics.proactivePaths.Add(int64(added))
+}
+
+// compactInstalled is the installed-system GC pass, run on every event.
+// Recovery paths accumulate across drills; without GC a long fail/restore
+// sequence grows the resident system without bound. The pass drops every
+// accumulated extra for pairs whose ORIGINAL candidates all survive the
+// current failed set (the startup sample alone serves them again), and caps
+// retained extras at cfg.RecoveryPathCap per pair otherwise, preferring
+// currently-alive extras. The original sample is never dropped, so a fully
+// restored engine compacts back to exactly the startup system — and its
+// path-system hash.
+func (e *Engine) compactInstalled(next *linkState, update *LinkUpdate) {
+	orig := e.original
+	if next.installed == orig {
+		return // nothing ever accumulated
+	}
+	out := core.NewPathSystem(e.cfg.Graph)
+	dropped := 0
+	for _, pr := range next.installed.Pairs() {
+		all := next.installed.Paths(pr.U, pr.V)
+		// Invariant: the original sample is a per-pair prefix of installed
+		// (every recovery/compaction rebuild appends extras after it).
+		origPaths := orig.Paths(pr.U, pr.V)
+		extras := all[len(origPaths):]
+		keep := extras
+		switch {
+		case len(extras) == 0:
+			// Nothing accumulated.
+		case len(origPaths) > 0 && pathsAvoid(origPaths, next.failed):
+			keep = nil
+		default:
+			if cap := e.cfg.RecoveryPathCap; cap >= 0 && len(extras) > cap {
+				keep = selectExtras(extras, next.failed, cap)
+			}
+		}
+		dropped += len(extras) - len(keep)
+		for _, p := range origPaths {
+			if err := out.AddPath(p); err != nil {
+				return // installed state is corrupt; leave it untouched
+			}
+		}
+		for _, p := range keep {
+			if err := out.AddPath(p); err != nil {
+				return
+			}
+		}
+	}
+	if dropped == 0 {
+		return
+	}
+	next.installed = out
+	next.serving = out.WithoutEdges(next.failed)
+	next.uncovered = next.serving.UncoveredPairs(out.Pairs())
+	next.hash = serial.PathSystemHash(out)
+
+	update.CompactedPaths = dropped
+	e.metrics.compactedPaths.Add(int64(dropped))
+}
+
+// selectExtras picks at most cap of the accumulated extras, preferring
+// currently-alive paths and, within each class, the most recently installed;
+// the survivors keep their original relative order (hash determinism).
+func selectExtras(extras []graph.Path, failed map[int]bool, cap int) []graph.Path {
+	type ranked struct {
+		idx int
+		p   graph.Path
+	}
+	var alive, dead []ranked
+	for i, p := range extras {
+		if pathAvoids(p, failed) {
+			alive = append(alive, ranked{i, p})
+		} else {
+			dead = append(dead, ranked{i, p})
+		}
+	}
+	var chosen []ranked
+	for i := len(alive) - 1; i >= 0 && len(chosen) < cap; i-- {
+		chosen = append(chosen, alive[i])
+	}
+	for i := len(dead) - 1; i >= 0 && len(chosen) < cap; i-- {
+		chosen = append(chosen, dead[i])
+	}
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i].idx < chosen[j].idx })
+	out := make([]graph.Path, len(chosen))
+	for i, r := range chosen {
+		out[i] = r.p
+	}
+	return out
+}
+
 // survivorRouter builds the recovery router on the surviving subgraph: the
 // configured router first, falling back to SPF (which builds on any graph)
 // when the configured construction does not survive pruning — e.g. valiant
@@ -287,7 +597,7 @@ func (e *Engine) reRouteActive(ls *linkState) {
 
 	start := time.Now()
 	r := renormalizeOverSurvivors(ls, st.Routing, served)
-	cong := r.MaxCongestion(e.cfg.Graph)
+	cong := r.MaxCongestion(ls.effectiveGraph(e.cfg.Graph))
 	e.publish(&State{
 		Epoch:      interim,
 		Demand:     served,
@@ -349,6 +659,16 @@ func pathAvoids(p graph.Path, failed map[int]bool) bool {
 	return true
 }
 
+// pathsAvoid reports whether every path avoids every failed edge.
+func pathsAvoid(paths []graph.Path, failed map[int]bool) bool {
+	for _, p := range paths {
+		if !pathAvoids(p, failed) {
+			return false
+		}
+	}
+	return true
+}
+
 // accountDegraded tracks cumulative degraded wall time across state
 // transitions. Callers hold linkMu.
 func (e *Engine) accountDegraded(degraded bool) {
@@ -363,7 +683,7 @@ func (e *Engine) accountDegraded(degraded bool) {
 }
 
 // DegradedSeconds returns the cumulative wall time the engine has spent with
-// at least one failed edge, including the current stint.
+// at least one failed or capacity-degraded edge, including the current stint.
 func (e *Engine) DegradedSeconds() float64 {
 	e.linkMu.Lock()
 	defer e.linkMu.Unlock()
@@ -374,13 +694,24 @@ func (e *Engine) DegradedSeconds() float64 {
 	return total.Seconds()
 }
 
-// sameEdgeSet reports whether two failed sets are equal.
-func sameEdgeSet(a, b map[int]bool) bool {
+// failedSubset extracts the zero-capacity edges of an override map.
+func failedSubset(capacity map[int]float64) map[int]bool {
+	out := make(map[int]bool)
+	for id, c := range capacity {
+		if c == 0 {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// sameCapacityMap reports whether two override maps are equal.
+func sameCapacityMap(a, b map[int]float64) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	for id := range a {
-		if !b[id] {
+	for id, c := range a {
+		if bc, ok := b[id]; !ok || bc != c {
 			return false
 		}
 	}

@@ -219,17 +219,22 @@ func TestEngineRecoveryResampling(t *testing.T) {
 	}
 	routingAvoids(t, e.Active().Routing, map[int]bool{edges[1]: true})
 
-	// Restoring brings the original candidate back alongside the recovery
-	// paths; the hash (installed system) is unchanged by the restore.
-	hashRecovered := e.Hash()
-	if _, err := e.RestoreEdges(edges[1]); err != nil {
+	// Restoring brings the original candidate back and lets the compaction
+	// pass drop the accumulated recovery paths: with every original candidate
+	// healthy again, the installed system — and its hash — returns to exactly
+	// the startup sample.
+	update, err = e.RestoreEdges(edges[1])
+	if err != nil {
 		t.Fatal(err)
 	}
-	if e.Hash() != hashRecovered {
-		t.Fatal("restore must not change the installed-system hash")
+	if update.CompactedPaths == 0 {
+		t.Fatalf("restore should compact the recovery paths: %+v", update)
 	}
-	if got := len(e.System().Unique(0, 3)); got < 2 {
-		t.Fatalf("want original + recovery candidates after restore, got %d", got)
+	if e.Hash() != hashBefore {
+		t.Fatal("full restore must compact back to the startup hash")
+	}
+	if got := len(e.System().Unique(0, 3)); got != 1 {
+		t.Fatalf("want exactly the original candidate after compaction, got %d", got)
 	}
 }
 
@@ -465,23 +470,27 @@ func TestEngineFaultInjectionUnderTraffic(t *testing.T) {
 			}
 		}(w)
 	}
-	// Chaos: kill and restore random edges mid-traffic.
+	// Chaos: kill, restore, and partially degrade random edges mid-traffic.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		rng := rand.New(rand.NewPCG(0xdead, 0xbeef))
-		for i := 0; i < 12; i++ {
+		for i := 0; i < 16; i++ {
 			id := rng.IntN(m)
-			if rng.IntN(2) == 0 {
-				if _, err := e.FailEdges(id); err != nil {
-					t.Error(err)
-					return
-				}
-			} else {
-				if _, err := e.RestoreEdges(id); err != nil {
-					t.Error(err)
-					return
-				}
+			var err error
+			switch rng.IntN(4) {
+			case 0:
+				_, err = e.FailEdges(id)
+			case 1:
+				_, err = e.RestoreEdges(id)
+			case 2:
+				_, err = e.SetCapacity(id, 0.25+0.5*rng.Float64())
+			default:
+				_, err = e.SetCapacity(id, 1)
+			}
+			if err != nil {
+				t.Error(err)
+				return
 			}
 		}
 	}()

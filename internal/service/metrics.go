@@ -29,10 +29,14 @@ type Metrics struct {
 	shed           expvar.Int   // demands rejected by back-pressure
 	lastCongestion expvar.Float
 
-	linkEvents         expvar.Int // applied topology events (fail/restore/set)
+	linkEvents         expvar.Int // applied topology events (fail/restore/set/capacity)
+	capacityEvents     expvar.Int // applied events carrying a partial-capacity override
 	recoveryResamples  expvar.Int // link events that drew fresh recovery paths
 	recoveryPaths      expvar.Int // total recovery paths installed
-	recoveryFailed     expvar.Int // recovery passes that errored (pairs stay uncovered)
+	recoveryFailed     expvar.Int // recovery passes that errored (pairs stay uncovered/at risk)
+	proactiveResamples expvar.Int // events whose proactive pass widened at-risk pairs
+	proactivePaths     expvar.Int // total unique paths installed proactively
+	compactedPaths     expvar.Int // accumulated recovery paths dropped by compaction
 	solveRetries       expvar.Int // retry stages run beyond first solve attempts
 	renormalizedServes expvar.Int // interim renormalized publishes after link events
 
@@ -57,16 +61,26 @@ func newMetrics(e *Engine) *Metrics {
 	m.vars.Set("demands_shed", &m.shed)
 	m.vars.Set("last_congestion", &m.lastCongestion)
 	m.vars.Set("link_events", &m.linkEvents)
+	m.vars.Set("capacity_events", &m.capacityEvents)
 	m.vars.Set("recovery_resamples", &m.recoveryResamples)
 	m.vars.Set("recovery_paths", &m.recoveryPaths)
 	m.vars.Set("recovery_failed", &m.recoveryFailed)
+	m.vars.Set("proactive_resamples", &m.proactiveResamples)
+	m.vars.Set("proactive_paths", &m.proactivePaths)
+	m.vars.Set("compacted_paths", &m.compactedPaths)
 	m.vars.Set("solve_retries", &m.solveRetries)
 	m.vars.Set("renormalized_serves", &m.renormalizedServes)
 	m.vars.Set("failed_edges", expvar.Func(func() any {
 		return len(e.links.Load().failed)
 	}))
+	m.vars.Set("degraded_edges", expvar.Func(func() any {
+		return len(e.links.Load().degradedCaps)
+	}))
 	m.vars.Set("uncovered_pairs", expvar.Func(func() any {
 		return len(e.links.Load().uncovered)
+	}))
+	m.vars.Set("at_risk_pairs", expvar.Func(func() any {
+		return len(e.links.Load().atRisk)
 	}))
 	m.vars.Set("link_version", expvar.Func(func() any {
 		return e.links.Load().version

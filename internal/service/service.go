@@ -70,6 +70,16 @@ type Config struct {
 	// carries any earlier recovery paths) is served pruned as-is, so the
 	// restored engine reproduces the snapshot's path-system hash.
 	FailedEdges []int
+	// CapacityOverrides starts the engine with the given effective-capacity
+	// multipliers, strictly inside (0,1), already applied — set by Restore
+	// from a snapshot taken while capacity-degraded. Zero-capacity (failed)
+	// edges belong in FailedEdges instead.
+	CapacityOverrides map[int]float64
+	// RecoveryPathCap bounds the recovery paths the compaction pass retains
+	// per pair while the pair's original candidates are impaired (extras for
+	// fully healthy pairs are always dropped entirely). Default 2*R;
+	// negative disables the cap.
+	RecoveryPathCap int
 	// Adapt tunes the rate-adaptation solvers.
 	Adapt *core.AdaptOptions
 	// LatencyWindow is the number of recent solves the latency/congestion
@@ -96,6 +106,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 10 * time.Millisecond
 	}
+	if c.RecoveryPathCap == 0 {
+		c.RecoveryPathCap = 2 * c.R
+	}
 	return c
 }
 
@@ -115,3 +128,7 @@ var ErrUnknownEpoch = errors.New("service: unknown epoch")
 // ErrUnknownEdge is returned by the link-state API for an edge ID outside
 // the topology.
 var ErrUnknownEdge = errors.New("service: unknown edge")
+
+// ErrBadCapacity is returned by the link-state API for a capacity multiplier
+// that is negative or non-finite.
+var ErrBadCapacity = errors.New("service: bad capacity multiplier")

@@ -95,11 +95,16 @@ type (
 	// EngineOutcome reports how one submitted epoch ended (Engine.Wait).
 	EngineOutcome = service.Outcome
 	// EngineHealth is the engine's liveness/readiness report: ok, degraded
-	// (with failed edges and uncovered pairs), or closed (Engine.Health).
+	// (with failed/capacity-degraded edges and uncovered pairs), or closed
+	// (Engine.Health).
 	EngineHealth = service.Health
 	// LinkUpdate reports one applied topology event (Engine.FailEdges,
-	// RestoreEdges, SetLinkState, or Links for the current state).
+	// RestoreEdges, SetLinkState, SetCapacity, or Links for the current
+	// state).
 	LinkUpdate = service.LinkUpdate
+	// EdgeCapacity reports one degraded-but-alive edge: its ID and effective-
+	// capacity multiplier in (0,1) (Engine.SetCapacity, EngineHealth).
+	EdgeCapacity = service.EdgeCapacity
 )
 
 // Engine health states (EngineHealth.Status).
@@ -124,6 +129,9 @@ var (
 	// ErrUnknownEdge: a link-state event named an edge ID outside the
 	// topology.
 	ErrUnknownEdge = service.ErrUnknownEdge
+	// ErrBadCapacity: a capacity event carried a negative or non-finite
+	// multiplier.
+	ErrBadCapacity = service.ErrBadCapacity
 )
 
 // --- Topologies -----------------------------------------------------------
