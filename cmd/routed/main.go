@@ -40,6 +40,17 @@
 // original candidates are all healthy again (bounded per pair meanwhile), so
 // a long drill sequence cannot grow the resident system without bound.
 //
+// Fleet mode (--fleet DIR) serves every topology in a directory from one
+// process: each <id>.topo.json (or <id>.snap) becomes a shard reachable
+// under /v1/t/<id>/..., built lazily on first touch and bounded by
+// --resident with LRU eviction (evicted shards snapshot to <id>.snap and
+// reload warm with an identical path-system hash). All shards solve on one
+// shared worker pool with round-robin fairness, so a hot tenant cannot
+// starve its siblings; /healthz rolls shard states into a fleet state
+// machine and /debug/vars nests every shard's registry. The legacy
+// un-namespaced /v1/* routes alias to --default (or the sole shard).
+// SIGTERM drains by snapshotting every resident shard.
+//
 // A capacity override between 0 and 1 degrades a link without failing it:
 // its candidates keep serving, but rate adaptation and the published
 // congestion run against a capacity-scaled view of the topology, so traffic
@@ -74,6 +85,7 @@ import (
 	"syscall"
 	"time"
 
+	"sparseroute/internal/fleet"
 	"sparseroute/internal/oblivious"
 	"sparseroute/internal/serial"
 	"sparseroute/internal/service"
@@ -92,6 +104,11 @@ type options struct {
 	queue    int
 	deadline time.Duration
 	snapshot string
+
+	// fleet mode
+	fleetDir     string
+	resident     int
+	defaultShard string
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -109,6 +126,9 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.queue, "queue", 16, "pending epochs before load shedding")
 	fs.DurationVar(&o.deadline, "deadline", 0, "per-epoch solve deadline; on expiry the solve is canceled and the last good routing keeps serving (0 = none)")
 	fs.StringVar(&o.snapshot, "snapshot", "", "snapshot file: restored at startup when present, written by POST /v1/snapshot and at shutdown")
+	fs.StringVar(&o.fleetDir, "fleet", "", "fleet mode: serve every <id>.topo.json / <id>.snap in this directory as /v1/t/<id>/... (ignores -topo/-snapshot)")
+	fs.IntVar(&o.resident, "resident", 0, "fleet mode: max engines resident at once; LRU shards snapshot to disk and reload on demand (0 = unlimited)")
+	fs.StringVar(&o.defaultShard, "default", "", "fleet mode: topology the legacy /v1/* routes alias to (default: the sole shard when exactly one exists)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -183,10 +203,72 @@ func serve(ctx context.Context, l net.Listener, e *service.Engine, snapshotPath 
 	return nil
 }
 
+// buildFleet opens the fleet over o.fleetDir, translating the single-engine
+// flags into the per-shard engine template.
+func buildFleet(o *options) (*fleet.Fleet, error) {
+	return fleet.Open(fleet.Config{
+		Dir:          o.fleetDir,
+		DefaultShard: o.defaultShard,
+		MaxResident:  o.resident,
+		Workers:      o.workers,
+		Engine: service.Config{
+			R:             o.r,
+			Seed:          o.seed,
+			QueueDepth:    o.queue,
+			SolveDeadline: o.deadline,
+			RouterName:    o.router,
+		},
+		Build: oblivious.BuildOptions{Dim: o.dim, Trees: o.trees, K: o.k, Seed: o.seed},
+	})
+}
+
+// serveFleet runs the fleet HTTP server on l until ctx is canceled, then
+// drains: every resident shard snapshots to its <id>.snap and closes.
+func serveFleet(ctx context.Context, l net.Listener, f *fleet.Fleet) error {
+	srv := &http.Server{Handler: fleet.NewServer(f)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		f.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+	}
+	return f.Close()
+}
+
 func main() {
 	o, err := parseFlags(os.Args[1:])
 	if err != nil {
 		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if o.fleetDir != "" {
+		f, err := buildFleet(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routed:", err)
+			os.Exit(1)
+		}
+		l, err := net.Listen("tcp", o.addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routed:", err)
+			os.Exit(1)
+		}
+		ids := f.ShardIDs()
+		fmt.Printf("routed: fleet of %d topologies from %s (default %q)\n",
+			len(ids), o.fleetDir, f.DefaultShard())
+		fmt.Printf("routed: serving on http://%s\n", l.Addr())
+		if err := serveFleet(ctx, l, f); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "routed:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	e, restored, err := buildEngine(o)
 	if err != nil {
@@ -207,8 +289,6 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("routed: serving on http://%s\n", l.Addr())
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	if err := serve(ctx, l, e, o.snapshot); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "routed:", err)
 		os.Exit(1)

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sparseroute/internal/demand"
+	"sparseroute/internal/graph"
+	"sparseroute/internal/graph/gen"
+	"sparseroute/internal/oblivious"
+	"sparseroute/internal/service"
+	"sparseroute/internal/stats"
+)
+
+// The serving-engine benchmark behind -bench-out: per topology size it
+// measures cold engine construction (build the router, sample the path
+// system), warm construction (restore the same system from a snapshot — the
+// fleet's reload path), solve latency over a train of demand epochs, and
+// read latency against GET /v1/paths. The result is written as
+// BENCH_engine.json — a machine-readable artifact CI can parse and diff
+// across commits, unlike the prose tables of EXPERIMENTS.md.
+
+// benchArtifact is the file -bench-out writes into its directory.
+const benchArtifact = "BENCH_engine.json"
+
+// benchWindow summarizes a latency sample in milliseconds.
+type benchWindow struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean_ms"`
+	P50   float64 `json:"p50_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+func windowOf(ms []float64) benchWindow {
+	return benchWindow{
+		Count: len(ms),
+		Mean:  stats.Mean(ms),
+		P50:   stats.Quantile(ms, 0.5),
+		P99:   stats.Quantile(ms, 0.99),
+		Max:   stats.Max(ms),
+	}
+}
+
+// benchTopology is one topology size's row.
+type benchTopology struct {
+	Topology    string      `json:"topology"`
+	Vertices    int         `json:"vertices"`
+	Edges       int         `json:"edges"`
+	Paths       int         `json:"paths"`
+	ColdStartMS float64     `json:"cold_start_ms"`
+	WarmStartMS float64     `json:"warm_start_ms"`
+	Solve       benchWindow `json:"solve"`
+	Read        benchWindow `json:"read"`
+}
+
+// benchReport is the BENCH_engine.json shape.
+type benchReport struct {
+	Name          string          `json:"name"`
+	GeneratedUnix int64           `json:"generated_unix"`
+	Router        string          `json:"router"`
+	R             int             `json:"r"`
+	Seed          uint64          `json:"seed"`
+	Quick         bool            `json:"quick"`
+	Epochs        int             `json:"epochs"`
+	Reads         int             `json:"reads"`
+	Topologies    []benchTopology `json:"topologies"`
+}
+
+type benchCase struct {
+	name string
+	g    *graph.Graph
+}
+
+func benchCases(quick bool) []benchCase {
+	if quick {
+		return []benchCase{
+			{"hypercube-3", gen.Hypercube(3)},
+			{"grid-4x4", gen.Grid(4, 4)},
+		}
+	}
+	return []benchCase{
+		{"hypercube-3", gen.Hypercube(3)},
+		{"hypercube-4", gen.Hypercube(4)},
+		{"grid-6x6", gen.Grid(6, 6)},
+		{"grid-10x10", gen.Grid(10, 10)},
+	}
+}
+
+// runEngineBench measures the serving engine across the benchmark
+// topologies.
+func runEngineBench(seed uint64, quick bool) (*benchReport, error) {
+	report := &benchReport{
+		Name:          "engine",
+		GeneratedUnix: time.Now().Unix(),
+		Router:        "raecke",
+		R:             3,
+		Seed:          seed,
+		Quick:         quick,
+		Epochs:        32,
+		Reads:         2000,
+	}
+	if quick {
+		report.Epochs, report.Reads = 8, 200
+	}
+	for _, bc := range benchCases(quick) {
+		row, err := benchOneTopology(bc, report)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", bc.name, err)
+		}
+		report.Topologies = append(report.Topologies, *row)
+	}
+	return report, nil
+}
+
+func benchOneTopology(bc benchCase, report *benchReport) (*benchTopology, error) {
+	cfg := service.Config{
+		RouterName: report.Router,
+		R:          report.R,
+		Seed:       report.Seed,
+		Workers:    1,
+		QueueDepth: report.Epochs + 1,
+	}
+
+	// Cold start: build the router and sample the path system.
+	start := time.Now()
+	router, err := oblivious.Build(report.Router, bc.g, &oblivious.BuildOptions{Seed: report.Seed})
+	if err != nil {
+		return nil, err
+	}
+	cfg.Graph, cfg.Router = bc.g, router
+	e, err := service.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	cold := time.Since(start)
+
+	// Warm start: snapshot, then restore — the fleet's reload path.
+	var snap bytes.Buffer
+	if err := e.WriteSnapshot(&snap); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	restored, err := service.Restore(bytes.NewReader(snap.Bytes()), service.Config{})
+	if err != nil {
+		return nil, err
+	}
+	warm := time.Since(start)
+	restored.Close()
+
+	row := &benchTopology{
+		Topology:    bc.name,
+		Vertices:    bc.g.NumVertices(),
+		Edges:       bc.g.NumEdges(),
+		Paths:       e.System().TotalPaths(),
+		ColdStartMS: float64(cold) / float64(time.Millisecond),
+		WarmStartMS: float64(warm) / float64(time.Millisecond),
+	}
+
+	// Solve latency: a train of random demand epochs, each waited to
+	// completion so the measurement is per-solve, not pipeline throughput.
+	rng := rand.New(rand.NewPCG(report.Seed, 0xb43c4))
+	n := bc.g.NumVertices()
+	ctx := context.Background()
+	solveMS := make([]float64, 0, report.Epochs)
+	for i := 0; i < report.Epochs; i++ {
+		d := demand.New()
+		for k := 0; k < n/2; k++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u == v {
+				continue
+			}
+			d.Set(u, v, 0.5+rng.Float64())
+		}
+		start = time.Now()
+		epoch, err := e.SubmitDemand(d)
+		if err != nil {
+			return nil, err
+		}
+		out, err := e.Wait(ctx, epoch)
+		if err != nil {
+			return nil, err
+		}
+		if !out.OK {
+			return nil, fmt.Errorf("epoch %d did not solve: %+v", epoch, out)
+		}
+		solveMS = append(solveMS, float64(time.Since(start))/float64(time.Millisecond))
+	}
+	row.Solve = windowOf(solveMS)
+
+	// Read latency: GET /v1/paths through the real handler stack, recorder-
+	// backed so only the serving path is on the clock.
+	srv := service.NewServer(e, "")
+	readMS := make([]float64, 0, report.Reads)
+	for i := 0; i < report.Reads; i++ {
+		u, v := rng.IntN(n), rng.IntN(n)
+		if u == v {
+			v = (u + 1) % n
+		}
+		req := httptest.NewRequest("GET", fmt.Sprintf("/v1/paths?src=%d&dst=%d", u, v), nil)
+		rec := httptest.NewRecorder()
+		start = time.Now()
+		srv.ServeHTTP(rec, req)
+		elapsed := time.Since(start)
+		if rec.Code != http.StatusOK {
+			return nil, fmt.Errorf("read %d/%d -> %d", u, v, rec.Code)
+		}
+		readMS = append(readMS, float64(elapsed)/float64(time.Millisecond))
+	}
+	row.Read = windowOf(readMS)
+	return row, nil
+}
+
+// writeBenchReport renders the report into dir as BENCH_engine.json.
+func writeBenchReport(dir string, report *benchReport) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	raw, err := json.MarshalIndent(report, "", " ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, benchArtifact)
+	return path, os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchArtifactRoundTrip is the bench-smoke check: the quick-mode engine
+// benchmark runs, writes BENCH_engine.json, and the artifact parses back
+// with every field CI diffs across commits populated.
+func TestBenchArtifactRoundTrip(t *testing.T) {
+	report, err := runEngineBench(7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := writeBenchReport(dir, report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != benchArtifact {
+		t.Fatalf("artifact name %s, want %s", path, benchArtifact)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed benchReport
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if parsed.Name != "engine" || !parsed.Quick || parsed.Seed != 7 {
+		t.Fatalf("header %+v", parsed)
+	}
+	if len(parsed.Topologies) != 2 {
+		t.Fatalf("%d topologies, want 2 in quick mode", len(parsed.Topologies))
+	}
+	for _, row := range parsed.Topologies {
+		if row.Vertices <= 0 || row.Edges <= 0 || row.Paths <= 0 {
+			t.Fatalf("row %+v has empty topology facts", row)
+		}
+		if row.ColdStartMS <= 0 || row.WarmStartMS <= 0 {
+			t.Fatalf("row %+v missing construction latencies", row)
+		}
+		// Warm starts skip resampling: restoring must not be slower than
+		// building from scratch by an order of magnitude. (No absolute
+		// thresholds — CI machines vary — just internal consistency.)
+		if row.Solve.Count != parsed.Epochs || row.Solve.P99 < row.Solve.P50 {
+			t.Fatalf("row %+v has inconsistent solve window", row)
+		}
+		if row.Read.Count != parsed.Reads || row.Read.P99 <= 0 {
+			t.Fatalf("row %+v has inconsistent read window", row)
+		}
+	}
+}

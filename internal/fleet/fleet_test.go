@@ -1,0 +1,466 @@
+package fleet
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sparseroute/internal/demand"
+	"sparseroute/internal/graph"
+	"sparseroute/internal/graph/gen"
+	"sparseroute/internal/serial"
+	"sparseroute/internal/service"
+)
+
+// writeTopo writes g as <id>.topo.json in dir.
+func writeTopo(t *testing.T, dir, id string, g *graph.Graph) {
+	t.Helper()
+	fh, err := os.Create(filepath.Join(dir, id+TopoSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	if err := serial.EncodeGraph(fh, g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testFleet opens a fleet over fresh hypercube specs for the given IDs.
+func testFleet(t *testing.T, ids []string, mut func(*Config)) *Fleet {
+	t.Helper()
+	dir := t.TempDir()
+	for _, id := range ids {
+		writeTopo(t, dir, id, gen.Hypercube(3))
+	}
+	cfg := Config{
+		Dir:    dir,
+		Engine: service.Config{RouterName: "valiant", R: 2, Seed: 11, QueueDepth: 16},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	f, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// solveOn pushes one demand epoch through the shard's engine and waits for it.
+func solveOn(t *testing.T, f *Fleet, id string) {
+	t.Helper()
+	e, err := f.Engine(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := demand.New()
+	d.Set(0, 7, 1)
+	epoch, err := e.SubmitDemand(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := ctxWithTimeout(t)
+	defer cancel()
+	out, err := e.Wait(ctx, epoch)
+	if err != nil || !out.OK {
+		t.Fatalf("shard %s epoch %d: %v %+v", id, epoch, err, out)
+	}
+}
+
+func TestFleetOpenDiscoversShards(t *testing.T) {
+	f := testFleet(t, []string{"b", "a", "c"}, nil)
+	ids := f.ShardIDs()
+	if len(ids) != 3 || ids[0] != "a" || ids[1] != "b" || ids[2] != "c" {
+		t.Fatalf("shard ids %v", ids)
+	}
+	if f.Resident() != 0 {
+		t.Fatalf("engines built eagerly: %d resident", f.Resident())
+	}
+	// Multiple shards and no explicit default: the legacy alias is off.
+	if f.DefaultShard() != "" {
+		t.Fatalf("default shard %q, want none", f.DefaultShard())
+	}
+}
+
+func TestFleetSingleShardAutoDefault(t *testing.T) {
+	f := testFleet(t, []string{"solo"}, nil)
+	if f.DefaultShard() != "solo" {
+		t.Fatalf("default %q, want solo", f.DefaultShard())
+	}
+}
+
+func TestFleetUnknownShard(t *testing.T) {
+	f := testFleet(t, []string{"a"}, nil)
+	if _, err := f.Engine("nope"); err == nil {
+		t.Fatal("unknown shard built an engine")
+	}
+}
+
+func TestFleetLazyResidencyAndLRUEviction(t *testing.T) {
+	f := testFleet(t, []string{"a", "b", "c"}, func(c *Config) { c.MaxResident = 2 })
+
+	solveOn(t, f, "a")
+	solveOn(t, f, "b")
+	if n := f.Resident(); n != 2 {
+		t.Fatalf("resident %d, want 2", n)
+	}
+
+	// Touching c must evict a (least recently used), snapshotting it first.
+	solveOn(t, f, "c")
+	if n := f.Resident(); n != 2 {
+		t.Fatalf("resident %d after third shard, want 2", n)
+	}
+	f.mu.Lock()
+	sa := f.shards["a"]
+	f.mu.Unlock()
+	sa.mu.RLock()
+	aLive := sa.engine != nil
+	sa.mu.RUnlock()
+	if aLive {
+		t.Fatal("least-recently-used shard a still resident")
+	}
+	if _, err := os.Stat(sa.snapPath); err != nil {
+		t.Fatalf("evicted shard left no snapshot: %v", err)
+	}
+	if got := f.metrics.evictions.Value(); got != 1 {
+		t.Fatalf("evictions %d, want 1", got)
+	}
+
+	// Reloading a is a warm start from its snapshot.
+	solveOn(t, f, "a")
+	if got := f.metrics.warmStarts.Value(); got != 1 {
+		t.Fatalf("warm starts %d, want 1", got)
+	}
+	if got := f.metrics.coldStarts.Value(); got != 3 {
+		t.Fatalf("cold starts %d, want 3", got)
+	}
+}
+
+// TestFleetEvictReloadRoundTrip is the fidelity drill: a shard degraded by a
+// link failure AND browned-out by a capacity override, serving live demand,
+// is evicted and reloaded — the restored engine must reproduce the exact
+// canonical path-system hash and link state it had before eviction.
+func TestFleetEvictReloadRoundTrip(t *testing.T) {
+	f := testFleet(t, []string{"a", "b"}, func(c *Config) { c.MaxResident = 1 })
+
+	solveOn(t, f, "a")
+	ea, err := f.Engine("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Degrade: fail one edge the active routing uses, brown-out another.
+	g := gen.Hypercube(3)
+	failID := g.Incident(0)[0]
+	brownID := g.Incident(7)[0]
+	if _, err := ea.FailEdges(failID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ea.SetCapacity(brownID, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	// Keep solving under the degraded state so the snapshot is taken mid-load.
+	solveOn(t, f, "a")
+
+	before := ea.Links()
+	hashBefore := ea.Hash()
+	if !before.Degraded {
+		t.Fatalf("link state %+v not degraded", before)
+	}
+
+	// Touch b: with MaxResident 1 this evicts a, snapshotting it first.
+	solveOn(t, f, "b")
+	f.mu.Lock()
+	sa := f.shards["a"]
+	f.mu.Unlock()
+	sa.mu.RLock()
+	aLive := sa.engine != nil
+	sa.mu.RUnlock()
+	if aLive {
+		t.Fatal("shard a still resident after b displaced it")
+	}
+
+	// Reload a: warm start from the degraded snapshot.
+	ea2, err := f.Engine("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ea2.Hash(); got != hashBefore {
+		t.Fatalf("reloaded hash %016x, want pre-eviction %016x", got, hashBefore)
+	}
+	after := ea2.Links()
+	if len(after.FailedEdges) != 1 || after.FailedEdges[0] != failID {
+		t.Fatalf("reloaded failed edges %v, want [%d]", after.FailedEdges, failID)
+	}
+	if len(after.DegradedEdges) != 1 || after.DegradedEdges[0].Edge != brownID ||
+		after.DegradedEdges[0].Capacity != 0.5 {
+		t.Fatalf("reloaded capacity overrides %+v, want edge %d at 0.5", after.DegradedEdges, brownID)
+	}
+	if after.UncoveredPairs != before.UncoveredPairs {
+		t.Fatalf("uncovered pairs %d, want %d", after.UncoveredPairs, before.UncoveredPairs)
+	}
+	// The reloaded shard still serves: a fresh epoch solves on the shared pool.
+	solveOn(t, f, "a")
+	if h := ea2.Health(); h.Status != service.HealthDegraded {
+		t.Fatalf("reloaded health %+v, want degraded", h)
+	}
+}
+
+// TestFleetCorrelatedFailureDrill fails a shared-risk link group — two edges
+// riding one conduit — in a single UpdateLinks event on one shard, and
+// checks (a) the surviving group keeps every pair covered, and (b) sibling
+// shards are completely unaffected: same hash, link version still 1, ok.
+func TestFleetCorrelatedFailureDrill(t *testing.T) {
+	f := testFleet(t, []string{"east", "west"}, nil)
+	solveOn(t, f, "east")
+	solveOn(t, f, "west")
+
+	west, err := f.Engine("west")
+	if err != nil {
+		t.Fatal(err)
+	}
+	westHash := west.Hash()
+
+	// The SRLG: two of vertex 0's three edges share a conduit.
+	g := gen.Hypercube(3)
+	group := []int{g.Incident(0)[0], g.Incident(0)[1]}
+
+	east, err := f.Engine("east")
+	if err != nil {
+		t.Fatal(err)
+	}
+	update, err := east.UpdateLinks(group, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if update.Version != 2 {
+		t.Fatalf("group failure applied as %d events, want one (version 2)", update.Version)
+	}
+	if len(update.FailedEdges) != 2 {
+		t.Fatalf("failed edges %v, want the group %v", update.FailedEdges, group)
+	}
+	// The survivor hypercube is still connected: recovery/proactive passes
+	// must leave no pair uncovered.
+	if update.UncoveredPairs != 0 {
+		t.Fatalf("%d pairs uncovered after SRLG failure", update.UncoveredPairs)
+	}
+	if h := east.Health(); h.Status != service.HealthDegraded {
+		t.Fatalf("east health %+v, want degraded", h)
+	}
+
+	// The sibling shard is untouched: no event, no hash movement, still ok.
+	if got := west.Hash(); got != westHash {
+		t.Fatalf("west hash moved %016x -> %016x on east's failure", westHash, got)
+	}
+	if l := west.Links(); l.Version != 1 || len(l.FailedEdges) != 0 {
+		t.Fatalf("west link state %+v leaked east's event", l)
+	}
+	if h := west.Health(); h.Status != service.HealthOK {
+		t.Fatalf("west health %+v, want ok", h)
+	}
+
+	// Fleet rollup degrades while east is impaired.
+	if h := f.Health(); h.Status != service.HealthDegraded {
+		t.Fatalf("fleet health %q, want degraded", h.Status)
+	}
+
+	// Restoring the group clears the rollup.
+	if _, err := east.UpdateLinks(nil, group); err != nil {
+		t.Fatal(err)
+	}
+	if h := f.Health(); h.Status != service.HealthOK {
+		t.Fatalf("fleet health %q after restore, want ok", h.Status)
+	}
+}
+
+func TestFleetHealthRollup(t *testing.T) {
+	f := testFleet(t, []string{"a", "b", "c"}, nil)
+	solveOn(t, f, "a")
+	solveOn(t, f, "b")
+
+	ea, err := f.Engine("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ea.FailEdges(gen.Hypercube(3).Incident(0)[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	h := f.Health()
+	if h.Status != service.HealthDegraded || h.Resident != 2 {
+		t.Fatalf("rollup %+v", h)
+	}
+	want := map[string]string{"a": service.HealthDegraded, "b": service.HealthOK, "c": ShardCold}
+	for _, row := range h.Shards {
+		if row.Status != want[row.ID] {
+			t.Fatalf("shard %s status %q, want %q", row.ID, row.Status, want[row.ID])
+		}
+		if (row.Status == ShardCold) == row.Resident {
+			t.Fatalf("shard %s residency %v inconsistent with status %q", row.ID, row.Resident, row.Status)
+		}
+	}
+}
+
+// TestFleetCloseDrainsAllResident: Close must snapshot every resident shard,
+// and a fleet reopened over the same directory restores each with an
+// identical hash.
+func TestFleetCloseDrainsAllResident(t *testing.T) {
+	dir := t.TempDir()
+	for _, id := range []string{"a", "b"} {
+		writeTopo(t, dir, id, gen.Hypercube(3))
+	}
+	cfg := Config{Dir: dir, Engine: service.Config{RouterName: "valiant", R: 2, Seed: 11}}
+	f, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes := map[string]uint64{}
+	for _, id := range []string{"a", "b"} {
+		solveOn(t, f, id)
+		e, err := f.Engine(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes[id] = e.Hash()
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if h := f.Health(); h.Status != service.HealthClosed {
+		t.Fatalf("health %q after close", h.Status)
+	}
+	if _, err := f.Engine("a"); err == nil {
+		t.Fatal("closed fleet built an engine")
+	}
+
+	f2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	for id, want := range hashes {
+		if _, err := os.Stat(filepath.Join(dir, id+SnapshotSuffix)); err != nil {
+			t.Fatalf("drain left no snapshot for %s: %v", id, err)
+		}
+		e, err := f2.Engine(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Hash(); got != want {
+			t.Fatalf("shard %s restored hash %016x, want drained %016x", id, got, want)
+		}
+	}
+	if f2.metrics.warmStarts.Value() != 2 {
+		t.Fatalf("reopened fleet warm starts %d, want 2", f2.metrics.warmStarts.Value())
+	}
+}
+
+// TestFleetSnapshotOnlyShard: a shard with a snapshot and no topology spec
+// still loads (warm).
+func TestFleetSnapshotOnlyShard(t *testing.T) {
+	dir := t.TempDir()
+	writeTopo(t, dir, "a", gen.Hypercube(3))
+	cfg := Config{Dir: dir, Engine: service.Config{RouterName: "valiant", R: 2, Seed: 11}}
+	f, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveOn(t, f, "a")
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the spec; only a.snap remains.
+	if err := os.Remove(filepath.Join(dir, "a"+TopoSuffix)); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if ids := f2.ShardIDs(); len(ids) != 1 || ids[0] != "a" {
+		t.Fatalf("snapshot-only discovery %v", ids)
+	}
+	solveOn(t, f2, "a")
+}
+
+// TestFleetConcurrentCrossShard churns demands, reads, link events, and
+// LRU evictions across three shards at once — the race-detector workout for
+// the shard map, the shared pool, and the residency locks.
+func TestFleetConcurrentCrossShard(t *testing.T) {
+	f := testFleet(t, []string{"a", "b", "c"}, func(c *Config) {
+		c.MaxResident = 2
+		c.Workers = 2
+	})
+	ids := []string{"a", "b", "c"}
+
+	done := make(chan error, 6)
+	for w := 0; w < 6; w++ {
+		go func(w int) {
+			var err error
+			defer func() { done <- err }()
+			for i := 0; i < 12; i++ {
+				id := ids[(w+i)%len(ids)]
+				e, aerr := f.Engine(id)
+				if aerr != nil {
+					err = aerr
+					return
+				}
+				switch w % 3 {
+				case 0: // writer: demand epochs
+					d := demand.New()
+					d.Set(0, 7, 1+float64(i))
+					// ErrBusy/ErrClosed are fine mid-churn: the engine may be
+					// evicted between acquire and submit, or shedding load.
+					e.SubmitDemand(d)
+				case 1: // reader: health, links, metrics
+					e.Health()
+					e.Links()
+					f.Health()
+					f.Metrics().JSON()
+				case 2: // link events on one shard only
+					if id == "a" {
+						e.FailEdges(0)
+						e.RestoreEdges(0)
+					} else {
+						e.Links()
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 6; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := f.Resident(); n > 2 {
+		t.Fatalf("resident %d breached MaxResident 2", n)
+	}
+	// The fleet still serves after the churn.
+	for _, id := range ids {
+		solveOn(t, f, id)
+	}
+}
+
+func TestFleetDefaultShardValidated(t *testing.T) {
+	dir := t.TempDir()
+	writeTopo(t, dir, "a", gen.Hypercube(3))
+	_, err := Open(Config{
+		Dir:          dir,
+		DefaultShard: "missing",
+		Engine:       service.Config{RouterName: "valiant", R: 2},
+	})
+	if err == nil {
+		t.Fatal("bogus default shard accepted")
+	}
+}
+
+// ctxWithTimeout returns a generous context for waiting on epochs.
+func ctxWithTimeout(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}

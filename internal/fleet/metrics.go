@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sparseroute/internal/stats"
+)
+
+// Metrics is the fleet's expvar registry: fleet-level counters plus every
+// shard's own registry nested under its topology ID. Like the engine
+// registry it is private — nothing touches the process-global expvar
+// namespace — and renders on /debug/vars as
+//
+//	{"fleet": {...}, "shards": {"<id>": {...} | {"resident": false}, ...}}
+type Metrics struct {
+	fleet *Fleet
+	vars  *expvar.Map
+
+	evictions   expvar.Int // shards snapshotted out of residency
+	evictErrors expvar.Int // evictions skipped because the snapshot failed
+	coldStarts  expvar.Int // engines built by sampling a topology spec
+	warmStarts  expvar.Int // engines restored from a snapshot
+
+	mu   sync.Mutex
+	cold *stats.Ring // cold-start latencies, milliseconds
+	warm *stats.Ring // warm-start latencies, milliseconds
+}
+
+func newMetrics(f *Fleet) *Metrics {
+	m := &Metrics{
+		fleet: f,
+		vars:  new(expvar.Map).Init(),
+		cold:  stats.NewRing(64),
+		warm:  stats.NewRing(64),
+	}
+	m.vars.Set("evictions", &m.evictions)
+	m.vars.Set("evict_errors", &m.evictErrors)
+	m.vars.Set("cold_starts", &m.coldStarts)
+	m.vars.Set("warm_starts", &m.warmStarts)
+	m.vars.Set("shard_count", expvar.Func(func() any {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return len(f.shards)
+	}))
+	m.vars.Set("resident_shards", expvar.Func(func() any {
+		return f.Resident()
+	}))
+	m.vars.Set("max_resident", expvar.Func(func() any {
+		return f.cfg.MaxResident
+	}))
+	m.vars.Set("default_shard", expvar.Func(func() any {
+		return f.cfg.DefaultShard
+	}))
+	// The shared pool's cross-shard queue depth: epochs accepted but not yet
+	// picked up by a worker, summed over every resident shard's queue.
+	m.vars.Set("queue_depth", expvar.Func(func() any {
+		return f.pool.Pending()
+	}))
+	m.vars.Set("cold_start_ms", expvar.Func(func() any {
+		return m.window(m.cold)
+	}))
+	m.vars.Set("warm_start_ms", expvar.Func(func() any {
+		return m.window(m.warm)
+	}))
+	return m
+}
+
+// observeBuild records one residency build: restored=true is a warm start
+// from a snapshot, false a cold start sampled from the topology spec.
+func (m *Metrics) observeBuild(d time.Duration, restored bool) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	if restored {
+		m.warm.Push(ms)
+	} else {
+		m.cold.Push(ms)
+	}
+	m.mu.Unlock()
+	if restored {
+		m.warmStarts.Add(1)
+	} else {
+		m.coldStarts.Add(1)
+	}
+}
+
+func (m *Metrics) window(r *stats.Ring) map[string]float64 {
+	m.mu.Lock()
+	xs := r.Values()
+	m.mu.Unlock()
+	return map[string]float64{
+		"count": float64(len(xs)),
+		"mean":  stats.Mean(xs),
+		"p50":   stats.Quantile(xs, 0.5),
+		"p99":   stats.Quantile(xs, 0.99),
+		"max":   stats.Max(xs),
+	}
+}
+
+// JSON renders the rolled-up registry. Shard registries are embedded as the
+// raw JSON their own /debug/vars would serve; non-resident shards render as
+// {"resident": false} so the key set is stable across evictions.
+func (m *Metrics) JSON() string {
+	f := m.fleet
+	f.mu.Lock()
+	list := make([]*shard, 0, len(f.shards))
+	for _, sh := range f.shards {
+		list = append(list, sh)
+	}
+	f.mu.Unlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
+
+	var b strings.Builder
+	b.WriteString("{\n\"fleet\": ")
+	b.WriteString(m.vars.String())
+	b.WriteString(",\n\"shards\": {")
+	for i, sh := range list {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+		b.WriteString(strconv.Quote(sh.id))
+		b.WriteString(": ")
+		sh.mu.RLock()
+		eng := sh.engine
+		sh.mu.RUnlock()
+		if eng != nil {
+			b.WriteString(eng.Metrics().JSON())
+		} else {
+			b.WriteString(`{"resident": false}`)
+		}
+	}
+	b.WriteString("\n}\n}\n")
+	return b.String()
+}
+
+// ServeHTTP serves the rollup in the conventional /debug/vars JSON shape.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprint(w, m.JSON())
+}

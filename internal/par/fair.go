@@ -1,0 +1,194 @@
+package par
+
+import "sync"
+
+// Submitter is the queueing seam between a long-lived consumer (the serving
+// engine) and its worker supply: offer work without blocking, drain on close.
+// Pool satisfies it directly; FairQueue satisfies it with shared workers
+// behind per-client fairness.
+type Submitter interface {
+	// TrySubmit offers fn without blocking, returning false when the queue
+	// is full or closed (the caller should shed the task).
+	TrySubmit(fn func()) bool
+	// Close stops accepting work and waits for every already-accepted task
+	// to finish.
+	Close()
+}
+
+// FairPool is a shared worker pool drained fairly across many client queues:
+// a fixed number of goroutines picks the next task round-robin over the
+// registered FairQueues, so one client flooding its queue cannot starve the
+// others — with k workers and q clients, a newly submitted task waits at
+// most one task per sibling queue, never behind the flooder's whole backlog.
+// This is the fleet's solver supply: one FairPool per process, one FairQueue
+// per resident shard, replacing one Pool per engine.
+type FairPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  []*FairQueue // registration order; the round-robin cursor walks it
+	cursor  int
+	pending int // queued tasks across all queues, excluding in-flight
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewFairPool starts a shared pool of `workers` goroutines (minimum 1).
+func NewFairPool(workers int) *FairPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &FairPool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Queue registers a new client queue holding at most `depth` pending tasks
+// (minimum 1). The queue draws on the pool's shared workers; closing it
+// drains only its own tasks, leaving the workers to the other queues.
+func (p *FairPool) Queue(depth int) *FairQueue {
+	if depth < 1 {
+		depth = 1
+	}
+	q := &FairQueue{pool: p, depth: depth}
+	p.mu.Lock()
+	p.queues = append(p.queues, q)
+	p.mu.Unlock()
+	return q
+}
+
+// Pending returns the tasks queued across every client, excluding those a
+// worker is already running — the cross-shard queue depth a fleet exports.
+func (p *FairPool) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pending
+}
+
+// Close stops accepting work on every queue, waits for all accepted tasks to
+// drain, and stops the workers. Safe to call more than once.
+func (p *FairPool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		for _, q := range p.queues {
+			q.closed = true
+		}
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// worker drains tasks round-robin across the client queues until the pool is
+// closed and empty. Accepted tasks always run, even after Close — matching
+// Pool's drain-on-close contract.
+func (p *FairPool) worker() {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		q, fn := p.nextLocked()
+		if fn == nil {
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+			continue
+		}
+		q.inflight++
+		p.pending--
+		p.mu.Unlock()
+		fn()
+		p.mu.Lock()
+		q.inflight--
+		// Wake queue-drain waiters (FairQueue.Close) and idle siblings.
+		p.cond.Broadcast()
+	}
+}
+
+// nextLocked pops the next task round-robin over the queues, or nil when
+// every queue is empty. Callers hold p.mu.
+func (p *FairPool) nextLocked() (*FairQueue, func()) {
+	n := len(p.queues)
+	for i := 0; i < n; i++ {
+		q := p.queues[(p.cursor+i)%n]
+		if len(q.tasks) > 0 {
+			p.cursor = (p.cursor + i + 1) % n
+			fn := q.tasks[0]
+			q.tasks = q.tasks[1:]
+			return q, fn
+		}
+	}
+	return nil, nil
+}
+
+// FairQueue is one client's bounded submission queue on a FairPool. It
+// satisfies Submitter, so an Engine configured with one is indistinguishable
+// from an Engine owning a private Pool — except that its solves share
+// workers fairly with every sibling queue.
+type FairQueue struct {
+	pool     *FairPool
+	depth    int
+	tasks    []func()
+	inflight int
+	closed   bool
+}
+
+// TrySubmit offers fn without blocking: false when this queue is full or
+// closed (back-pressure is per-client, so one shard shedding load says
+// nothing about its siblings).
+func (q *FairQueue) TrySubmit(fn func()) bool {
+	p := q.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if q.closed || p.closed || len(q.tasks) >= q.depth {
+		return false
+	}
+	q.tasks = append(q.tasks, fn)
+	p.pending++
+	p.cond.Broadcast()
+	return true
+}
+
+// Pending returns this queue's queued-but-not-running task count.
+func (q *FairQueue) Pending() int {
+	q.pool.mu.Lock()
+	defer q.pool.mu.Unlock()
+	return len(q.tasks)
+}
+
+// Close stops accepting work on this queue and waits until its accepted
+// tasks finish. The shared workers and sibling queues are untouched, which
+// is what evicting one shard from a fleet needs. Safe to call more than
+// once.
+func (q *FairQueue) Close() {
+	p := q.pool
+	p.mu.Lock()
+	q.closed = true
+	// Workers drain every accepted task before exiting — even mid pool
+	// Close — so waiting here cannot deadlock.
+	for len(q.tasks) > 0 || q.inflight > 0 {
+		p.cond.Wait()
+	}
+	// Unregister, so a long-lived pool does not accumulate dead queues
+	// across evict/reload cycles.
+	for i, other := range p.queues {
+		if other == q {
+			p.queues = append(p.queues[:i], p.queues[i+1:]...)
+			if p.cursor > i {
+				p.cursor--
+			}
+			if n := len(p.queues); n > 0 {
+				p.cursor %= n
+			} else {
+				p.cursor = 0
+			}
+			break
+		}
+	}
+	p.mu.Unlock()
+}

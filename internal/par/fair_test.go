@@ -1,0 +1,182 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFairPoolRoundRobin is the no-starvation property, deterministically:
+// with one worker wedged on a gate task, client A floods its queue and
+// client B submits a single task afterwards. Round-robin draining must run
+// B's task immediately after the gate releases — before A's backlog — where
+// a global FIFO would run it last.
+func TestFairPoolRoundRobin(t *testing.T) {
+	p := NewFairPool(1)
+	defer p.Close()
+	qa := p.Queue(16)
+	qb := p.Queue(16)
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	if !qa.TrySubmit(func() { close(started); <-gate }) {
+		t.Fatal("gate task rejected")
+	}
+	<-started // the single worker is now wedged on A's gate task
+
+	var mu sync.Mutex
+	var order []string
+	record := func(tag string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if !qa.TrySubmit(record("a")) {
+			t.Fatalf("flood task %d rejected", i)
+		}
+	}
+	if !qb.TrySubmit(record("b")) {
+		t.Fatal("b task rejected")
+	}
+	if got := p.Pending(); got != 11 {
+		t.Fatalf("Pending() = %d, want 11", got)
+	}
+
+	close(gate)
+	qb.Close() // drains b's single task
+	qa.Close() // then a's backlog
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 11 {
+		t.Fatalf("ran %d tasks, want 11", len(order))
+	}
+	// b must appear within the first two completions (the cursor may owe A
+	// one turn), never behind A's whole backlog.
+	pos := -1
+	for i, tag := range order {
+		if tag == "b" {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 || pos > 1 {
+		t.Fatalf("b ran at position %d of %v, want 0 or 1 (no starvation)", pos, order)
+	}
+}
+
+// TestFairQueueBackpressureIsPerClient: one client filling its queue must
+// not consume another client's submission budget.
+func TestFairQueueBackpressureIsPerClient(t *testing.T) {
+	p := NewFairPool(1)
+	defer p.Close()
+	qa := p.Queue(2)
+	qb := p.Queue(2)
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	qa.TrySubmit(func() { close(started); <-gate })
+	<-started
+
+	if !qa.TrySubmit(func() {}) || !qa.TrySubmit(func() {}) {
+		t.Fatal("a's own budget rejected")
+	}
+	if qa.TrySubmit(func() {}) {
+		t.Fatal("a exceeded its depth")
+	}
+	// b's budget is untouched by a's full queue.
+	if !qb.TrySubmit(func() {}) || !qb.TrySubmit(func() {}) {
+		t.Fatal("b starved of queue budget by a's flood")
+	}
+	close(gate)
+}
+
+// TestFairQueueCloseDrainsOwnTasksOnly: closing one queue waits for its
+// accepted tasks, rejects new ones, and leaves siblings running.
+func TestFairQueueCloseDrainsOwnTasksOnly(t *testing.T) {
+	p := NewFairPool(2)
+	defer p.Close()
+	qa := p.Queue(8)
+	qb := p.Queue(8)
+
+	var ran atomic.Int32
+	for i := 0; i < 5; i++ {
+		if !qa.TrySubmit(func() { ran.Add(1) }) {
+			t.Fatal("submit rejected")
+		}
+	}
+	qa.Close()
+	if got := ran.Load(); got != 5 {
+		t.Fatalf("Close returned with %d/5 tasks run", got)
+	}
+	if qa.TrySubmit(func() {}) {
+		t.Fatal("closed queue accepted work")
+	}
+
+	// Sibling is unaffected.
+	done := make(chan struct{})
+	if !qb.TrySubmit(func() { close(done) }) {
+		t.Fatal("sibling queue rejected work after another queue closed")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sibling task never ran")
+	}
+}
+
+// TestFairPoolCloseDrains: pool Close runs every accepted task before
+// returning, across all queues.
+func TestFairPoolCloseDrains(t *testing.T) {
+	p := NewFairPool(3)
+	var ran atomic.Int32
+	queues := make([]*FairQueue, 4)
+	for i := range queues {
+		queues[i] = p.Queue(32)
+		for j := 0; j < 8; j++ {
+			if !queues[i].TrySubmit(func() { ran.Add(1) }) {
+				t.Fatal("submit rejected")
+			}
+		}
+	}
+	p.Close()
+	if got := ran.Load(); got != 32 {
+		t.Fatalf("pool Close returned with %d/32 tasks run", got)
+	}
+	if queues[0].TrySubmit(func() {}) {
+		t.Fatal("closed pool accepted work")
+	}
+	queues[0].Close() // must not deadlock after pool Close
+}
+
+// TestFairPoolConcurrentSubmitters hammers the pool from many goroutines
+// across many queues — meaningful under -race.
+func TestFairPoolConcurrentSubmitters(t *testing.T) {
+	p := NewFairPool(4)
+	const clients = 8
+	var ran atomic.Int32
+	var accepted atomic.Int32
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		q := p.Queue(16)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if q.TrySubmit(func() { ran.Add(1) }) {
+					accepted.Add(1)
+				}
+			}
+			q.Close()
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	if ran.Load() != accepted.Load() {
+		t.Fatalf("ran %d of %d accepted tasks", ran.Load(), accepted.Load())
+	}
+}

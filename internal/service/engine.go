@@ -105,8 +105,11 @@ func defaultAdapt(ctx context.Context, ps *core.PathSystem, d *demand.Demand, op
 type Engine struct {
 	cfg     Config
 	metrics *Metrics
-	pool    *par.Pool
-	adapt   adaptFunc
+	// pool is the solve queue: a private par.Pool by default, or the shared
+	// fleet queue handed in via Config.Pool. Close closes it either way —
+	// for a shared par.FairQueue that drains only this engine's solves.
+	pool  par.Submitter
+	adapt adaptFunc
 
 	// original is the startup path system (sampled or restored), immutable.
 	// The compaction pass GCs accumulated recovery paths back toward it once
@@ -213,7 +216,11 @@ func New(cfg Config) (*Engine, error) {
 	e.links.Store(ls)
 	e.rootCtx, e.stop = context.WithCancel(context.Background())
 	e.metrics = newMetrics(e)
-	e.pool = par.NewPool(cfg.Workers, cfg.QueueDepth)
+	if cfg.Pool != nil {
+		e.pool = cfg.Pool
+	} else {
+		e.pool = par.NewPool(cfg.Workers, cfg.QueueDepth)
+	}
 	return e, nil
 }
 

@@ -169,3 +169,7 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	fmt.Fprint(w, m.vars.String())
 }
+
+// JSON returns the registry rendered as its /debug/vars JSON object — the
+// per-shard payload a fleet embeds in its rolled-up vars.
+func (m *Metrics) JSON() string { return m.vars.String() }

@@ -24,6 +24,7 @@ import (
 	"sparseroute/internal/demand"
 	"sparseroute/internal/graph"
 	"sparseroute/internal/oblivious"
+	"sparseroute/internal/par"
 )
 
 // Config parameterizes an Engine.
@@ -46,10 +47,19 @@ type Config struct {
 	Seed uint64
 	// Workers bounds concurrent epoch solves. Default 1 (epochs solve in
 	// submission order; higher values let a slow epoch overlap the next).
+	// Ignored when Pool is set — worker count then belongs to the shared
+	// pool.
 	Workers int
 	// QueueDepth bounds pending epochs before SubmitDemand sheds load with
 	// ErrBusy. Default 16.
 	QueueDepth int
+	// Pool, when non-nil, is the submission queue the engine solves on —
+	// typically a par.FairQueue drawing on a pool of workers shared across a
+	// fleet of engines, so one hot tenant cannot starve its siblings. The
+	// engine owns the handle: Close closes it (draining this engine's
+	// accepted solves) without touching the shared workers. When nil the
+	// engine starts a private par.Pool of cfg.Workers goroutines.
+	Pool par.Submitter
 	// SolveDeadline bounds one epoch's solve; on expiry the solve is
 	// canceled (the solvers poll their context, so the worker is freed
 	// promptly instead of burning CPU on a result nobody will use) and the
