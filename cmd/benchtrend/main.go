@@ -1,0 +1,144 @@
+// Command benchtrend compares two BENCH_engine.json artifacts — the
+// committed baseline and a freshly generated run — and fails when the
+// per-epoch solve latency regressed beyond a threshold on any topology the
+// two runs share. It is the first consumer of the benchmark trajectory: CI
+// regenerates the quick-mode artifact on every change and this gate turns a
+// silent slow-down of the serving loop into a red build.
+//
+//	benchtrend -old BENCH_engine.json -new /tmp/bench/BENCH_engine.json
+//
+// The comparison is mean solve latency per topology, new/old. Sub-floor
+// baselines (default 0.05ms) are skipped: at microsecond scale the ratio is
+// all noise. Topologies present in only one artifact are reported but never
+// fail the gate, so adding or retiring a benchmark case is not a regression.
+// -threshold sets the allowed relative increase (0.25 = fail beyond +25%);
+// CI machines vary enough run-to-run that thresholds below ~0.5 belong on
+// dedicated hardware only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type window struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean_ms"`
+	P50   float64 `json:"p50_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+type topology struct {
+	Topology string `json:"topology"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Paths    int    `json:"paths"`
+	Solve    window `json:"solve"`
+	Read     window `json:"read"`
+}
+
+type report struct {
+	Name       string     `json:"name"`
+	Topologies []topology `json:"topologies"`
+}
+
+func load(path string) (*report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Topologies) == 0 {
+		return nil, fmt.Errorf("%s: no topologies in artifact", path)
+	}
+	return &r, nil
+}
+
+// verdict is one topology's comparison row.
+type verdict struct {
+	topo     string
+	oldMean  float64
+	newMean  float64
+	ratio    float64
+	skipped  string // non-empty: why the row cannot fail the gate
+	regressd bool
+}
+
+// compare builds the per-topology verdicts for the topologies both runs
+// share. threshold is the allowed relative increase; floorMS exempts
+// baselines too fast to compare meaningfully.
+func compare(oldR, newR *report, threshold, floorMS float64) []verdict {
+	baseline := make(map[string]topology, len(oldR.Topologies))
+	for _, tp := range oldR.Topologies {
+		baseline[tp.Topology] = tp
+	}
+	var out []verdict
+	for _, tp := range newR.Topologies {
+		base, ok := baseline[tp.Topology]
+		if !ok {
+			out = append(out, verdict{topo: tp.Topology, newMean: tp.Solve.Mean, skipped: "no baseline"})
+			continue
+		}
+		v := verdict{topo: tp.Topology, oldMean: base.Solve.Mean, newMean: tp.Solve.Mean}
+		switch {
+		case base.Solve.Count == 0 || tp.Solve.Count == 0:
+			v.skipped = "empty solve window"
+		case base.Solve.Mean < floorMS:
+			v.skipped = fmt.Sprintf("baseline under floor %gms", floorMS)
+		default:
+			v.ratio = tp.Solve.Mean / base.Solve.Mean
+			v.regressd = v.ratio > 1+threshold
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "BENCH_engine.json", "baseline artifact (the committed one)")
+		newPath   = flag.String("new", "", "fresh artifact to compare against the baseline")
+		threshold = flag.Float64("threshold", 0.25, "allowed relative solve-latency increase before failing (0.25 = +25%)")
+		floorMS   = flag.Float64("floor-ms", 0.05, "skip topologies whose baseline mean solve is below this many ms (too fast to compare)")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchtrend: -new is required")
+		os.Exit(2)
+	}
+	oldR, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrend:", err)
+		os.Exit(2)
+	}
+	newR, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrend:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, v := range compare(oldR, newR, *threshold, *floorMS) {
+		switch {
+		case v.skipped != "":
+			fmt.Printf("benchtrend: %-14s solve %.4fms -> %.4fms  (skipped: %s)\n", v.topo, v.oldMean, v.newMean, v.skipped)
+		case v.regressd:
+			failed = true
+			fmt.Printf("benchtrend: %-14s solve %.4fms -> %.4fms  (%.0f%% > +%.0f%% budget)  REGRESSION\n",
+				v.topo, v.oldMean, v.newMean, (v.ratio-1)*100, *threshold*100)
+		default:
+			fmt.Printf("benchtrend: %-14s solve %.4fms -> %.4fms  (%+.0f%%)  ok\n",
+				v.topo, v.oldMean, v.newMean, (v.ratio-1)*100)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchtrend: solve latency regressed beyond the budget")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func artifact(t *testing.T, dir, name string, topos []topology) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	raw, err := json.Marshal(report{Name: "engine", Topologies: topos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func topo(name string, mean float64) topology {
+	return topology{Topology: name, Solve: window{Count: 8, Mean: mean}}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	oldR := &report{Topologies: []topology{topo("grid", 1.0), topo("cube", 1.0)}}
+	newR := &report{Topologies: []topology{topo("grid", 1.2), topo("cube", 1.3)}}
+	vs := compare(oldR, newR, 0.25, 0.05)
+	if len(vs) != 2 {
+		t.Fatalf("verdicts: %d, want 2", len(vs))
+	}
+	if vs[0].regressd {
+		t.Fatalf("+20%% flagged under a 25%% budget: %+v", vs[0])
+	}
+	if !vs[1].regressd {
+		t.Fatalf("+30%% not flagged under a 25%% budget: %+v", vs[1])
+	}
+}
+
+func TestCompareSkipsSubFloorAndMissing(t *testing.T) {
+	oldR := &report{Topologies: []topology{topo("tiny", 0.01), topo("gone", 1.0)}}
+	newR := &report{Topologies: []topology{topo("tiny", 10.0), topo("fresh", 5.0)}}
+	vs := compare(oldR, newR, 0.25, 0.05)
+	for _, v := range vs {
+		if v.regressd {
+			t.Fatalf("skipped row flagged as regression: %+v", v)
+		}
+		if v.skipped == "" {
+			t.Fatalf("row %q should be skipped (sub-floor or unmatched)", v.topo)
+		}
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	oldR := &report{Topologies: []topology{topo("grid", 2.0)}}
+	newR := &report{Topologies: []topology{topo("grid", 1.0)}}
+	vs := compare(oldR, newR, 0.25, 0.05)
+	if len(vs) != 1 || vs[0].regressd || vs[0].skipped != "" {
+		t.Fatalf("improvement misjudged: %+v", vs)
+	}
+}
+
+func TestLoadRejectsEmptyArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := artifact(t, dir, "empty.json", nil)
+	if _, err := load(path); err == nil {
+		t.Fatal("empty artifact should not load")
+	}
+	if _, err := load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing artifact should not load")
+	}
+}
+
+// TestLoadCommittedArtifact pins that the tool parses the real committed
+// baseline at the repo root.
+func TestLoadCommittedArtifact(t *testing.T) {
+	r, err := load("../../BENCH_engine.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Topologies) == 0 || r.Topologies[0].Solve.Count == 0 {
+		t.Fatalf("committed artifact parsed hollow: %+v", r)
+	}
+}

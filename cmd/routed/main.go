@@ -17,8 +17,19 @@
 //	GET  /debug/vars    expvar metrics (epochs, latency quantiles, fallbacks,
 //	                    failed_edges, degraded_edges, recovery_resamples,
 //	                    proactive_resamples, compacted_paths, ...)
+//	GET  /metrics       the same registry as Prometheus text exposition
+//	GET  /debug/trace   recent epoch lifecycle traces — queue wait, solve
+//	                    attempt chain, MWU rounds, publish time (?n= bounds
+//	                    the count; in-flight MWU progress rides along)
+//	GET  /debug/events  time-ordered event journal: link/capacity events,
+//	                    health transitions, widening decisions, solve failures
 //	GET  /healthz       state machine: ok / degraded (failed or capacity-
 //	                    reduced edges, uncovered/at-risk pairs) / 503 closed
+//
+// -debug-addr serves the pprof profiling surface (/debug/pprof/...) on a
+// separate listener, kept off the main port; -slow-solve emits a structured
+// log line for epochs slower than the threshold; -headroom enables
+// capacity-aware proactive widening (see POST /v1/links capacity overrides).
 //
 // Reads are lock-free while epochs solve; a solve that fails or misses
 // --deadline leaves the last good routing serving (a fallback counter
@@ -79,6 +90,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -105,6 +117,11 @@ type options struct {
 	deadline time.Duration
 	snapshot string
 
+	// observability
+	debugAddr string
+	slowSolve time.Duration
+	headroom  float64
+
 	// fleet mode
 	fleetDir     string
 	resident     int
@@ -126,6 +143,9 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.queue, "queue", 16, "pending epochs before load shedding")
 	fs.DurationVar(&o.deadline, "deadline", 0, "per-epoch solve deadline; on expiry the solve is canceled and the last good routing keeps serving (0 = none)")
 	fs.StringVar(&o.snapshot, "snapshot", "", "snapshot file: restored at startup when present, written by POST /v1/snapshot and at shutdown")
+	fs.StringVar(&o.debugAddr, "debug-addr", "", "separate listen address for the pprof profiling surface (/debug/pprof/...); empty disables it")
+	fs.DurationVar(&o.slowSolve, "slow-solve", 0, "epochs slower than this (queue wait + solve + publish) emit one structured log line and count in slow_solves (0 = disabled)")
+	fs.Float64Var(&o.headroom, "headroom", 0, "capacity headroom threshold in (0,1): pairs whose every candidate crosses an edge degraded below it are proactively widened around the weak links (0 = disabled)")
 	fs.StringVar(&o.fleetDir, "fleet", "", "fleet mode: serve every <id>.topo.json / <id>.snap in this directory as /v1/t/<id>/... (ignores -topo/-snapshot)")
 	fs.IntVar(&o.resident, "resident", 0, "fleet mode: max engines resident at once; LRU shards snapshot to disk and reload on demand (0 = unlimited)")
 	fs.StringVar(&o.defaultShard, "default", "", "fleet mode: topology the legacy /v1/* routes alias to (default: the sole shard when exactly one exists)")
@@ -139,12 +159,14 @@ func parseFlags(args []string) (*options, error) {
 // otherwise samples a fresh path system from the topology file.
 func buildEngine(o *options) (*service.Engine, bool, error) {
 	cfg := service.Config{
-		R:             o.r,
-		Seed:          o.seed,
-		Workers:       o.workers,
-		QueueDepth:    o.queue,
-		SolveDeadline: o.deadline,
-		RouterName:    o.router,
+		R:                  o.r,
+		Seed:               o.seed,
+		Workers:            o.workers,
+		QueueDepth:         o.queue,
+		SolveDeadline:      o.deadline,
+		RouterName:         o.router,
+		SlowSolveThreshold: o.slowSolve,
+		AtRiskHeadroom:     o.headroom,
 	}
 	if o.snapshot != "" {
 		if f, err := os.Open(o.snapshot); err == nil {
@@ -203,6 +225,34 @@ func serve(ctx context.Context, l net.Listener, e *service.Engine, snapshotPath 
 	return nil
 }
 
+// debugHandler is the profiling surface served on -debug-addr: the pprof
+// index plus its named handlers, registered on a private mux so the main
+// serving port never exposes profiling and nothing touches the process-global
+// DefaultServeMux.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serveDebug runs the profiling server on l until ctx is canceled. Errors
+// after shutdown begins are expected and dropped; a startup failure surfaces
+// on stderr but never takes the serving daemon down with it.
+func serveDebug(ctx context.Context, l net.Listener) {
+	srv := &http.Server{Handler: debugHandler()}
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+	if err := srv.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "routed: debug server:", err)
+	}
+}
+
 // buildFleet opens the fleet over o.fleetDir, translating the single-engine
 // flags into the per-shard engine template.
 func buildFleet(o *options) (*fleet.Fleet, error) {
@@ -212,11 +262,13 @@ func buildFleet(o *options) (*fleet.Fleet, error) {
 		MaxResident:  o.resident,
 		Workers:      o.workers,
 		Engine: service.Config{
-			R:             o.r,
-			Seed:          o.seed,
-			QueueDepth:    o.queue,
-			SolveDeadline: o.deadline,
-			RouterName:    o.router,
+			R:                  o.r,
+			Seed:               o.seed,
+			QueueDepth:         o.queue,
+			SolveDeadline:      o.deadline,
+			RouterName:         o.router,
+			SlowSolveThreshold: o.slowSolve,
+			AtRiskHeadroom:     o.headroom,
 		},
 		Build: oblivious.BuildOptions{Dim: o.dim, Trees: o.trees, K: o.k, Seed: o.seed},
 	})
@@ -249,6 +301,15 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if o.debugAddr != "" {
+		dl, err := net.Listen("tcp", o.debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "routed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("routed: pprof on http://%s/debug/pprof/\n", dl.Addr())
+		go serveDebug(ctx, dl)
+	}
 	if o.fleetDir != "" {
 		f, err := buildFleet(o)
 		if err != nil {

@@ -26,12 +26,17 @@ type AdaptOptions struct {
 	RoundingTrials int
 	// LocalSearchPasses bounds the integral local-search sweeps (default 20).
 	LocalSearchPasses int
+	// OnSolver, when non-nil, is called with "exact" or "mwu" just before the
+	// corresponding solver runs — an observability seam; both may fire in one
+	// Adapt when the exact LP hits numerical trouble and falls through to MWU.
+	OnSolver func(solver string)
 }
 
 func (o *AdaptOptions) withDefaults() AdaptOptions {
 	out := AdaptOptions{ExactThreshold: 600, RoundingTrials: 8, LocalSearchPasses: 20}
 	if o != nil {
 		out.MWU = o.MWU
+		out.OnSolver = o.OnSolver
 		if o.ExactThreshold != 0 {
 			out.ExactThreshold = o.ExactThreshold
 		}
@@ -87,6 +92,9 @@ func (ps *PathSystem) AdaptCtx(ctx context.Context, d *demand.Demand, opt *Adapt
 	}
 	cand := ps.candidatesFor(d)
 	if o.ExactThreshold > 0 && ps.variableCount(d) <= o.ExactThreshold {
+		if o.OnSolver != nil {
+			o.OnSolver("exact")
+		}
 		if r, err := mcf.MinCongestionOnPathsExactCtx(ctx, ps.g, cand, d); err == nil {
 			return r, nil
 		} else if cerr := ctx.Err(); cerr != nil {
@@ -94,6 +102,9 @@ func (ps *PathSystem) AdaptCtx(ctx context.Context, d *demand.Demand, opt *Adapt
 			return nil, cerr
 		}
 		// Numerical trouble in the LP: fall through to MWU.
+	}
+	if o.OnSolver != nil {
+		o.OnSolver("mwu")
 	}
 	return mcf.MinCongestionOnPathsCtx(ctx, ps.g, cand, d, &o.MWU)
 }

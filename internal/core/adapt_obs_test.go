@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"sparseroute/internal/demand"
+	"sparseroute/internal/graph/gen"
+)
+
+// ringSystem builds a tiny path system on a ring with both arcs between 0
+// and 2 as candidates.
+func ringSystem(t *testing.T) *PathSystem {
+	t.Helper()
+	g := gen.Ring(6)
+	ps := NewPathSystem(g)
+	p, err := g.ShortestPathHops(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.AddPath(p); err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+func TestAdaptOnSolverExact(t *testing.T) {
+	ps := ringSystem(t)
+	d := demand.SinglePair(0, 2, 1)
+	var solvers []string
+	_, err := ps.Adapt(d, &AdaptOptions{
+		OnSolver: func(s string) { solvers = append(solvers, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solvers) != 1 || solvers[0] != "exact" {
+		t.Fatalf("solvers = %v, want [exact]", solvers)
+	}
+}
+
+func TestAdaptOnSolverForcedMWU(t *testing.T) {
+	ps := ringSystem(t)
+	d := demand.SinglePair(0, 2, 1)
+	var solvers []string
+	_, err := ps.Adapt(d, &AdaptOptions{
+		ExactThreshold: -1, // the retry chain's forced-MWU stage
+		OnSolver:       func(s string) { solvers = append(solvers, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solvers) != 1 || solvers[0] != "mwu" {
+		t.Fatalf("solvers = %v, want [mwu]", solvers)
+	}
+}
+
+func TestAdaptMWUProgressThreadsThrough(t *testing.T) {
+	ps := ringSystem(t)
+	d := demand.SinglePair(0, 2, 1)
+	rounds := 0
+	opt := &AdaptOptions{ExactThreshold: -1}
+	opt.MWU.Iterations = 32
+	opt.MWU.ProgressEvery = 8
+	opt.MWU.Progress = func(round int, _ float64) { rounds = round }
+	if _, err := ps.Adapt(d, opt); err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 32 {
+		t.Fatalf("last progress round = %d, want 32", rounds)
+	}
+}

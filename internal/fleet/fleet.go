@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"sparseroute/internal/oblivious"
+	"sparseroute/internal/obs"
 	"sparseroute/internal/par"
 	"sparseroute/internal/serial"
 	"sparseroute/internal/service"
@@ -95,6 +96,11 @@ type Fleet struct {
 	cfg     Config
 	pool    *par.FairPool
 	metrics *Metrics
+	// journal is the fleet-wide event ring, shared with every resident
+	// engine (entries tagged by topology ID): link/health/widening events
+	// survive their shard's eviction, and residency transitions (reload,
+	// eviction, drain) land in the same time-ordered stream.
+	journal *obs.Journal
 
 	// buildMu serializes residency transitions (cold starts, evictions,
 	// drain), so the resident count is stable while room is being made.
@@ -183,10 +189,22 @@ func Open(cfg Config) (*Fleet, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	f := &Fleet{cfg: cfg, shards: shards, pool: par.NewFairPool(workers)}
+	depth := cfg.Engine.JournalDepth
+	if depth <= 0 {
+		depth = 1024
+	}
+	f := &Fleet{cfg: cfg, shards: shards, pool: par.NewFairPool(workers), journal: obs.NewJournal(depth)}
 	f.metrics = newMetrics(f)
 	return f, nil
 }
+
+// Events returns the fleet-wide event journal, oldest first: every resident
+// engine's link/capacity/health/widening/solve-failure events (tagged by
+// topology ID) interleaved with the fleet's own residency transitions
+// (reload, eviction, drain). The journal outlives evictions, so a
+// post-incident read reconstructs a shard's whole history even after its
+// engine left memory.
+func (f *Fleet) Events() []obs.Event { return f.journal.Events() }
 
 // ShardIDs returns the discovered topology IDs, sorted.
 func (f *Fleet) ShardIDs() []string {
@@ -290,7 +308,15 @@ func (f *Fleet) makeResident(sh *shard) error {
 	if err != nil {
 		return fmt.Errorf("fleet: shard %q: %w", sh.id, err)
 	}
-	f.metrics.observeBuild(time.Since(start), restored)
+	buildTime := time.Since(start)
+	f.metrics.observeBuild(buildTime, restored)
+	kind := "cold"
+	if restored {
+		kind = "warm"
+	}
+	f.journal.RecordShard(sh.id, obs.EventReload, map[string]any{
+		"start": kind, "build_ms": float64(buildTime) / float64(time.Millisecond),
+	})
 	server := service.NewServer(engine, sh.snapPath)
 	sh.mu.Lock()
 	sh.engine, sh.server = engine, server
@@ -350,11 +376,15 @@ func (f *Fleet) evict(sh *shard) bool {
 	}
 	if _, err := sh.engine.SnapshotToFile(sh.snapPath); err != nil {
 		f.metrics.evictErrors.Add(1)
+		f.journal.RecordShard(sh.id, obs.EventEviction, map[string]any{
+			"ok": false, "err": err.Error(),
+		})
 		return false
 	}
 	sh.engine.Close()
 	sh.engine, sh.server = nil, nil
 	f.metrics.evictions.Add(1)
+	f.journal.RecordShard(sh.id, obs.EventEviction, map[string]any{"ok": true})
 	return true
 }
 
@@ -377,6 +407,10 @@ func (f *Fleet) buildEngine(sh *shard) (e *service.Engine, restored bool, err er
 	cfg.Pool = queue
 	cfg.Graph, cfg.Router, cfg.System = nil, nil, nil
 	cfg.FailedEdges, cfg.CapacityOverrides = nil, nil
+	// Engines record into the fleet journal, tagged by topology ID, so the
+	// event stream survives eviction and rolls up at GET /debug/events.
+	cfg.Journal = f.journal
+	cfg.JournalShard = sh.id
 
 	if fh, err := os.Open(sh.snapPath); err == nil {
 		defer fh.Close()
@@ -450,12 +484,14 @@ func (f *Fleet) Health() *Health {
 
 	out := &Health{Status: service.HealthOK}
 	for _, sh := range list {
+		// The read lock is held across the Health call itself: releasing it
+		// after loading the engine pointer would let eviction close the engine
+		// mid-render and report a spurious "closed" row (or worse, tear the
+		// snapshot the engine is writing out from under the scrape).
 		sh.mu.RLock()
-		eng := sh.engine
-		sh.mu.RUnlock()
 		row := ShardHealth{ID: sh.id, Status: ShardCold}
-		if eng != nil {
-			h := eng.Health()
+		if sh.engine != nil {
+			h := sh.engine.Health()
 			row.Resident = true
 			row.Status = h.Status
 			row.Engine = h
@@ -464,6 +500,7 @@ func (f *Fleet) Health() *Health {
 				out.Status = service.HealthDegraded
 			}
 		}
+		sh.mu.RUnlock()
 		out.Shards = append(out.Shards, row)
 	}
 	if closed {
@@ -497,11 +534,16 @@ func (f *Fleet) Close() error {
 	for _, sh := range list {
 		sh.mu.Lock()
 		if sh.engine != nil {
-			if _, err := sh.engine.SnapshotToFile(sh.snapPath); err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("fleet: draining shard %q: %w", sh.id, err)
+			detail := map[string]any{"ok": true}
+			if _, err := sh.engine.SnapshotToFile(sh.snapPath); err != nil {
+				detail = map[string]any{"ok": false, "err": err.Error()}
+				if firstErr == nil {
+					firstErr = fmt.Errorf("fleet: draining shard %q: %w", sh.id, err)
+				}
 			}
 			sh.engine.Close()
 			sh.engine, sh.server = nil, nil
+			f.journal.RecordShard(sh.id, obs.EventDrain, detail)
 		}
 		sh.mu.Unlock()
 	}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 
+	"sparseroute/internal/obs"
 	"sparseroute/internal/service"
 )
 
@@ -24,6 +25,10 @@ import (
 //	GET  /v1/topologies    shard inventory: IDs, residency, the default
 //	GET  /healthz          fleet rollup: ok / degraded / 503 closed
 //	GET  /debug/vars       fleet counters plus every shard's registry
+//	GET  /metrics          the same rollup as Prometheus text exposition
+//	                       (per-shard series carry a topo label)
+//	GET  /debug/events     the fleet-wide event journal: link/health/widening
+//	                       events from every shard plus residency transitions
 //
 // Unknown topology IDs are 404s — a client typo must not read as a server
 // fault — and requests after Close begin are 503s.
@@ -39,6 +44,8 @@ func NewServer(f *Fleet) *Server {
 	s.mux.HandleFunc("/v1/{rest...}", s.handleLegacy)
 	s.mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
 	s.mux.Handle("GET /debug/vars", f.Metrics())
+	s.mux.HandleFunc("GET /metrics", s.handleProm)
+	s.mux.HandleFunc("GET /debug/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
 }
@@ -96,7 +103,7 @@ func (s *Server) delegate(w http.ResponseWriter, r *http.Request, id, rest strin
 	// Rewrite into the engine server's namespace: the shard-local health and
 	// debug endpoints live at the root, everything else under /v1/.
 	r2 := r.Clone(r.Context())
-	if rest == "healthz" || strings.HasPrefix(rest, "debug/") {
+	if rest == "healthz" || rest == "metrics" || strings.HasPrefix(rest, "debug/") {
 		r2.URL.Path = "/" + rest
 	} else {
 		r2.URL.Path = "/v1/" + rest
@@ -125,6 +132,17 @@ func (s *Server) handleTopologies(w http.ResponseWriter, _ *http.Request) {
 		out = append(out, topologyInfo{ID: id, Resident: resident, Default: id == f.DefaultShard()})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleProm serves the fleet metrics rollup as Prometheus text exposition.
+func (s *Server) handleProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	s.fleet.Metrics().Prom().WriteTo(w)
+}
+
+// handleEvents serves the fleet-wide event journal, oldest first.
+func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"events": s.fleet.Events()})
 }
 
 // handleHealth serves the fleet rollup: 200 while serving (ok or degraded),

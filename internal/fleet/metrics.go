@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"sparseroute/internal/obs"
 	"sparseroute/internal/stats"
 )
 
@@ -127,14 +128,16 @@ func (m *Metrics) JSON() string {
 		b.WriteString("\n")
 		b.WriteString(strconv.Quote(sh.id))
 		b.WriteString(": ")
+		// Render under the shard's read lock: dropping it after loading the
+		// engine pointer would let eviction Close the engine while its expvar
+		// Funcs are still being evaluated mid-scrape.
 		sh.mu.RLock()
-		eng := sh.engine
-		sh.mu.RUnlock()
-		if eng != nil {
-			b.WriteString(eng.Metrics().JSON())
+		if sh.engine != nil {
+			b.WriteString(sh.engine.Metrics().JSON())
 		} else {
 			b.WriteString(`{"resident": false}`)
 		}
+		sh.mu.RUnlock()
 	}
 	b.WriteString("\n}\n}\n")
 	return b.String()
@@ -144,4 +147,38 @@ func (m *Metrics) JSON() string {
 func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	fmt.Fprint(w, m.JSON())
+}
+
+// Prom renders the fleet rollup in the Prometheus text exposition format:
+// fleet counters under sparseroute_fleet_*, every resident shard's engine
+// registry under sparseroute_engine_* with a topo label, and a
+// sparseroute_shard_resident gauge covering every discovered shard. Each
+// shard renders under its read lock so a concurrent eviction cannot close
+// the engine while its gauges are being evaluated.
+func (m *Metrics) Prom() *obs.Prom {
+	f := m.fleet
+	f.mu.Lock()
+	list := make([]*shard, 0, len(f.shards))
+	for _, sh := range f.shards {
+		list = append(list, sh)
+	}
+	f.mu.Unlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
+
+	p := obs.NewProm()
+	p.FromVars("sparseroute_fleet", nil, m.vars)
+	for _, sh := range list {
+		sh.mu.RLock()
+		resident := sh.engine != nil
+		if resident {
+			p.FromVars("sparseroute_engine", map[string]string{"topo": sh.id}, sh.engine.Metrics().Vars())
+		}
+		sh.mu.RUnlock()
+		v := 0.0
+		if resident {
+			v = 1
+		}
+		p.Gauge("sparseroute_shard_resident", map[string]string{"topo": sh.id}, v)
+	}
+	return p
 }

@@ -33,16 +33,29 @@ type Options struct {
 	Iterations int
 	// Eta is the exponential learning rate (default 1.0).
 	Eta float64
+	// Progress, when non-nil, is called from the MWU loop with the current
+	// round count and the congestion of the averaged routing built so far
+	// (cum/round is exactly the edge load of averaging the first `round`
+	// rounds, so the estimate is free — no extra passes). Called every
+	// ProgressEvery rounds and once after the final round; must be fast and
+	// must not retain or mutate solver state.
+	Progress func(round int, congestion float64)
+	// ProgressEvery is the round stride between Progress calls (default 16).
+	ProgressEvery int
 }
 
 func (o *Options) withDefaults() Options {
-	out := Options{Iterations: 256, Eta: 1.0}
+	out := Options{Iterations: 256, Eta: 1.0, ProgressEvery: 16}
 	if o != nil {
 		if o.Iterations > 0 {
 			out.Iterations = o.Iterations
 		}
 		if o.Eta > 0 {
 			out.Eta = o.Eta
+		}
+		out.Progress = o.Progress
+		if o.ProgressEvery > 0 {
+			out.ProgressEvery = o.ProgressEvery
 		}
 	}
 	return out
@@ -86,6 +99,9 @@ func MinCongestionOnPathsCtx(ctx context.Context, g *graph.Graph, cand map[deman
 				maxCum = c
 			}
 		}
+		if o.Progress != nil && iter > 0 && iter%o.ProgressEvery == 0 {
+			o.Progress(iter, maxCum/float64(iter))
+		}
 		for _, p := range support {
 			// Lightest candidate under lengths exp(eta*(cum-max))/cap.
 			best, bestLen := 0, math.Inf(1)
@@ -105,6 +121,7 @@ func MinCongestionOnPathsCtx(ctx context.Context, g *graph.Graph, cand map[deman
 			}
 		}
 	}
+	reportFinal(cum, &o)
 	out := flow.New()
 	for _, p := range support {
 		amt := d.Get(p.U, p.V)
@@ -118,6 +135,22 @@ func MinCongestionOnPathsCtx(ctx context.Context, g *graph.Graph, cand map[deman
 		}
 	}
 	return out, nil
+}
+
+// reportFinal fires the last Progress sample after the MWU loop: cum holds
+// the full run's cumulative relative loads, so maxCum/Iterations is the exact
+// congestion of the averaged routing about to be returned.
+func reportFinal(cum []float64, o *Options) {
+	if o.Progress == nil || o.Iterations == 0 {
+		return
+	}
+	maxCum := 0.0
+	for _, c := range cum {
+		if c > maxCum {
+			maxCum = c
+		}
+	}
+	o.Progress(o.Iterations, maxCum/float64(o.Iterations))
 }
 
 // MinCongestionOnPathsExact solves the same restricted problem exactly with
@@ -263,6 +296,9 @@ func ApproxOptCongestionCtx(ctx context.Context, g *graph.Graph, d *demand.Deman
 				maxCum = c
 			}
 		}
+		if o.Progress != nil && iter > 0 && iter%o.ProgressEvery == 0 {
+			o.Progress(iter, maxCum/float64(iter))
+		}
 		for id := range lengths {
 			lengths[id] = math.Exp(o.Eta*(cum[id]-maxCum))/g.Edge(id).Capacity + 1e-12
 		}
@@ -283,6 +319,7 @@ func ApproxOptCongestionCtx(ctx context.Context, g *graph.Graph, d *demand.Deman
 			}
 		}
 	}
+	reportFinal(cum, &o)
 	out := flow.New()
 	for _, p := range support {
 		amt := d.Get(p.U, p.V)

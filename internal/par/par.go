@@ -7,6 +7,7 @@ package par
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 // ForEach runs fn(i) for every i in [0, n) across min(GOMAXPROCS, n)
@@ -110,6 +111,15 @@ func (p *Pool) Close() {
 	}
 	p.mu.Unlock()
 	p.wg.Wait()
+}
+
+// Timed wraps fn for submission to a pool, stamping the moment of wrapping
+// (≈ submission) and handing fn the elapsed queue wait when a worker finally
+// runs it. This is how the serving layer measures time spent queued behind
+// other tenants on a shared pool without changing the Submitter interface.
+func Timed(fn func(queueWait time.Duration)) func() {
+	submitted := time.Now()
+	return func() { fn(time.Since(submitted)) }
 }
 
 // MapReduce runs mapFn over [0, n) in parallel and folds the results with

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachCoversAllIndices(t *testing.T) {
@@ -130,5 +131,33 @@ func TestPoolRejectsWhenQueueFull(t *testing.T) {
 	p.Close()
 	if !rejected {
 		t.Fatal("expected back-pressure rejection with a full queue")
+	}
+}
+
+func TestTimedMeasuresQueueWait(t *testing.T) {
+	var got time.Duration
+	fn := Timed(func(w time.Duration) { got = w })
+	time.Sleep(20 * time.Millisecond)
+	fn()
+	if got < 15*time.Millisecond {
+		t.Fatalf("queue wait %v, want >= ~20ms", got)
+	}
+}
+
+func TestTimedThroughPool(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Close()
+	block := make(chan struct{})
+	if !p.TrySubmit(func() { <-block }) {
+		t.Fatal("submit blocker")
+	}
+	waited := make(chan time.Duration, 1)
+	if !p.TrySubmit(Timed(func(w time.Duration) { waited <- w })) {
+		t.Fatal("submit timed task")
+	}
+	time.Sleep(30 * time.Millisecond)
+	close(block)
+	if w := <-waited; w < 20*time.Millisecond {
+		t.Fatalf("queue wait %v, want >= ~30ms behind the blocker", w)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"sparseroute/internal/core"
 	"sparseroute/internal/demand"
 	"sparseroute/internal/flow"
+	"sparseroute/internal/obs"
 	"sparseroute/internal/par"
 	"sparseroute/internal/serial"
 )
@@ -111,6 +112,13 @@ type Engine struct {
 	pool  par.Submitter
 	adapt adaptFunc
 
+	// tracer retains recent epoch lifecycle traces; journal records the
+	// engine's state-changing events (link/capacity/health/widening/solve
+	// failures), tagged with shard when the journal is fleet-shared.
+	tracer  *obs.Tracer
+	journal *obs.Journal
+	shard   string
+
 	// original is the startup path system (sampled or restored), immutable.
 	// The compaction pass GCs accumulated recovery paths back toward it once
 	// the failed edges that motivated them are healthy again.
@@ -177,6 +185,12 @@ func New(cfg Config) (*Engine, error) {
 		outcomes: make(map[uint64]*Outcome),
 		pending:  make(map[uint64]struct{}),
 		waiters:  make(map[uint64][]chan *Outcome),
+		tracer:   obs.NewTracer(cfg.TraceDepth, cfg.SlowSolveThreshold, cfg.Logger),
+		journal:  cfg.Journal,
+		shard:    cfg.JournalShard,
+	}
+	if e.journal == nil {
+		e.journal = obs.NewJournal(cfg.JournalDepth)
 	}
 	capacity := make(map[int]float64, len(cfg.FailedEdges)+len(cfg.CapacityOverrides))
 	for _, id := range cfg.FailedEdges {
@@ -214,6 +228,14 @@ func New(cfg Config) (*Engine, error) {
 	ls.uncovered = ls.serving.UncoveredPairs(system.Pairs())
 	e.finalizeLinkState(ls)
 	e.links.Store(ls)
+	if ls.degraded() {
+		// A snapshot restored straight into a degraded link state: journal the
+		// starting health so post-incident reconstruction has the first edge.
+		e.record(obs.EventHealth, map[string]any{
+			"from": HealthOK, "to": HealthDegraded, "reason": "restored degraded",
+			"failed_edges": len(ls.failed), "degraded_edges": len(ls.degradedCaps),
+		})
+	}
 	e.rootCtx, e.stop = context.WithCancel(context.Background())
 	e.metrics = newMetrics(e)
 	if cfg.Pool != nil {
@@ -327,7 +349,7 @@ func (e *Engine) SubmitDemand(d *demand.Demand) (uint64, error) {
 	}
 	e.nextEpoch++
 	epoch := e.nextEpoch
-	if !e.pool.TrySubmit(func() { e.solve(epoch, d) }) {
+	if !e.pool.TrySubmit(par.Timed(func(wait time.Duration) { e.solve(epoch, d, wait) })) {
 		e.nextEpoch--
 		e.metrics.shed.Add(1)
 		return 0, ErrBusy
@@ -367,9 +389,17 @@ func (e *Engine) Wait(ctx context.Context, epoch uint64) (*Outcome, error) {
 // last good routing otherwise. The adaptation itself is a bounded
 // retry-with-backoff chain (see adaptWithRetry); a missed deadline (or
 // Close) cancels the context the solvers poll, so the worker is freed
-// promptly with no further retries.
-func (e *Engine) solve(epoch uint64, d *demand.Demand) {
+// promptly with no further retries. queueWait is the time the epoch spent
+// queued behind other work before this worker picked it up; the whole
+// lifecycle — queue wait, per-attempt solve chain, MWU progress, publish —
+// is recorded as one obs.EpochTrace.
+func (e *Engine) solve(epoch uint64, d *demand.Demand, queueWait time.Duration) {
 	start := time.Now()
+	tr := &obs.EpochTrace{Epoch: epoch, Start: start, QueueWaitMs: ms(queueWait)}
+	mon := &solveMonitor{epoch: epoch, tracer: e.tracer}
+	defer e.tracer.ClearProgress(epoch)
+	e.metrics.observeQueueWait(queueWait)
+
 	ctx := e.rootCtx
 	if e.cfg.SolveDeadline > 0 {
 		var cancel context.CancelFunc
@@ -391,12 +421,14 @@ func (e *Engine) solve(epoch uint64, d *demand.Demand) {
 	if served.SupportSize() == 0 {
 		err = fmt.Errorf("service: no demand pair has surviving candidate paths")
 	} else {
-		r, err = e.adaptWithRetry(ctx, ls, served, out)
+		r, err = e.adaptWithRetry(ctx, ls, served, out, tr, mon)
 	}
+	tr.SolveMs = msSince(start)
 
 	out.Latency = time.Since(start)
 	switch {
 	case err == nil:
+		pubStart := time.Now()
 		cong := r.MaxCongestion(ls.effectiveGraph(e.cfg.Graph))
 		e.publish(&State{
 			Epoch:      epoch,
@@ -405,25 +437,42 @@ func (e *Engine) solve(epoch uint64, d *demand.Demand) {
 			Congestion: cong,
 			SolvedAt:   time.Now(),
 		})
+		tr.PublishMs = msSince(pubStart)
+		tr.Outcome = obs.OutcomeSolved
+		tr.Congestion = cong
 		out.OK = true
 		out.Congestion = cong
+		out.Latency = time.Since(start)
 		e.metrics.observeSolve(out.Latency, cong)
 	case errors.Is(err, context.DeadlineExceeded):
+		tr.Outcome = obs.OutcomeCanceled
 		out.Fallback = true
 		out.Err = fmt.Sprintf("solve canceled at deadline %v", e.cfg.SolveDeadline)
 		e.metrics.deadlineMissed.Add(1)
 		e.metrics.observeCanceled(out.Latency)
 		e.metrics.fallbacks.Add(1)
 	case errors.Is(err, context.Canceled):
+		tr.Outcome = obs.OutcomeCanceled
 		out.Fallback = true
 		out.Err = "solve canceled: engine closing"
 		e.metrics.observeCanceled(out.Latency)
 		e.metrics.fallbacks.Add(1)
 	default:
+		tr.Outcome = obs.OutcomeFallback
 		out.Fallback = true
 		out.Err = err.Error()
 		e.metrics.failed.Add(1)
 		e.metrics.fallbacks.Add(1)
+		e.record(obs.EventSolveFailure, map[string]any{
+			"epoch": epoch, "err": err.Error(), "retries": out.Retries,
+		})
+	}
+	tr.TotalMs = msSince(start)
+	tr.Retries = out.Retries
+	tr.DroppedPairs = out.DroppedPairs
+	mon.fill(tr)
+	if e.tracer.Record(tr) {
+		e.metrics.slowSolves.Add(1)
 	}
 	e.finish(out)
 }
@@ -440,12 +489,27 @@ func (e *Engine) solve(epoch uint64, d *demand.Demand) {
 // retrying a canceled solve would only burn the worker. If every stage
 // fails the caller falls back to last-known-good (the published routing
 // stays serving). Retries beyond the first attempt are counted in
-// out.Retries and the solve_retries metric.
-func (e *Engine) adaptWithRetry(ctx context.Context, ls *linkState, d *demand.Demand, out *Outcome) (flow.Routing, error) {
+// out.Retries and the solve_retries metric. Each stage actually run is
+// appended to tr.Attempts with its wall time and outcome; mon threads the
+// solver-identity and MWU-progress callbacks into the solvers.
+func (e *Engine) adaptWithRetry(ctx context.Context, ls *linkState, d *demand.Demand, out *Outcome, tr *obs.EpochTrace, mon *solveMonitor) (flow.Routing, error) {
+	attempt := func(stage string, f func() (flow.Routing, error)) (flow.Routing, error) {
+		t0 := time.Now()
+		r, err := f()
+		a := obs.Attempt{Stage: stage, Ms: msSince(t0), OK: err == nil}
+		if err != nil {
+			a.Err = err.Error()
+		}
+		tr.Attempts = append(tr.Attempts, a)
+		return r, err
+	}
+
 	// ls.adaptive is the serving system rebound over the capacity-scaled
 	// topology view when fractional overrides exist: same candidates, reduced
 	// congestion denominators, so a degraded link is routed around softly.
-	r, err := e.adapt(ctx, ls.adaptive, d, e.cfg.Adapt)
+	r, err := attempt("adapt", func() (flow.Routing, error) {
+		return e.adapt(ctx, ls.adaptive, d, instrumented(e.cfg.Adapt, mon))
+	})
 	if err == nil || ctx.Err() != nil || e.cfg.SolveRetries < 0 {
 		return r, err
 	}
@@ -462,8 +526,11 @@ func (e *Engine) adaptWithRetry(ctx context.Context, ls *linkState, d *demand.De
 
 	// Stage 2: force the MWU solver with default options.
 	if retry(0) {
-		mwu := core.AdaptOptions{ExactThreshold: -1}
-		if r, err = e.adapt(ctx, ls.adaptive, d, &mwu); err == nil || ctx.Err() != nil {
+		mwu := instrumented(&core.AdaptOptions{ExactThreshold: -1}, mon)
+		r, err = attempt("forced-mwu", func() (flow.Routing, error) {
+			return e.adapt(ctx, ls.adaptive, d, mwu)
+		})
+		if err == nil || ctx.Err() != nil {
 			return r, err
 		}
 	}
@@ -474,7 +541,9 @@ func (e *Engine) adaptWithRetry(ctx context.Context, ls *linkState, d *demand.De
 	// Stage 3: renormalize the previous routing over surviving paths.
 	if st := e.active.Load(); st != nil && retry(1) {
 		out.Renormalized = true
-		return renormalizeOverSurvivors(ls, st.Routing, d), nil
+		return attempt("renormalize", func() (flow.Routing, error) {
+			return renormalizeOverSurvivors(ls, st.Routing, d), nil
+		})
 	}
 	return nil, firstErr
 }
@@ -576,8 +645,12 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 // solve survives Close.
 func (e *Engine) Close() {
 	e.mu.Lock()
+	already := e.closed
 	e.closed = true
 	e.mu.Unlock()
+	if !already {
+		e.record(obs.EventHealth, map[string]any{"to": HealthClosed})
+	}
 	e.stop()
 	e.pool.Close()
 }

@@ -11,6 +11,7 @@ import (
 	"strconv"
 
 	"sparseroute/internal/demand"
+	"sparseroute/internal/obs"
 	"sparseroute/internal/serial"
 )
 
@@ -29,6 +30,11 @@ import (
 //	GET  /v1/links         the current link state
 //	POST /v1/snapshot      persist the path system to the snapshot file
 //	GET  /debug/vars       expvar metrics
+//	GET  /debug/trace      recent epoch lifecycle traces, newest first
+//	                       (?n= bounds the count), plus the in-flight MWU
+//	                       progress when a solve is reporting
+//	GET  /debug/events     the engine's event journal, oldest first
+//	GET  /metrics          Prometheus text exposition of the expvar registry
 //	GET  /healthz          ok / degraded (failed or capacity-degraded edges,
 //	                       uncovered pairs) / 503 closed, plus the last epoch
 //	                       outcome
@@ -49,6 +55,9 @@ func NewServer(e *Engine, snapshotPath string) *Server {
 	s.mux.HandleFunc("GET /v1/links", s.handleLinksGet)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	s.mux.Handle("GET /debug/vars", e.Metrics())
+	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /debug/events", s.handleEvents)
+	s.mux.HandleFunc("GET /metrics", s.handleProm)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
 }
@@ -348,6 +357,41 @@ func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleLinksGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.linksJSON(s.engine.Links()))
+}
+
+// traceResponse is the GET /debug/trace reply.
+type traceResponse struct {
+	// Traces lists retained epoch lifecycle records, newest first.
+	Traces []*obs.EpochTrace `json:"traces"`
+	// InFlight is the progress of a currently running MWU solve, if one is
+	// reporting.
+	InFlight *obs.SolveProgress `json:"in_flight,omitempty"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if np := r.URL.Query().Get("n"); np != "" {
+		var err error
+		n, err = strconv.Atoi(np)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "n must be a non-negative integer, got %q", np)
+			return
+		}
+	}
+	tr := s.engine.Tracer()
+	writeJSON(w, http.StatusOK, traceResponse{Traces: tr.Traces(n), InFlight: tr.Progress()})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"events": s.engine.Events()})
+}
+
+// handleProm serves the expvar registry as Prometheus text exposition.
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	p := obs.NewProm()
+	p.FromVars("sparseroute_engine", nil, s.engine.Metrics().Vars())
+	w.Header().Set("Content-Type", obs.PromContentType)
+	p.WriteTo(w)
 }
 
 // handleHealth serves the engine's state machine: 200 "ok", 200 "degraded"

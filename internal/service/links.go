@@ -11,6 +11,8 @@ import (
 	"sparseroute/internal/flow"
 	"sparseroute/internal/graph"
 	"sparseroute/internal/oblivious"
+	"sparseroute/internal/obs"
+	"sparseroute/internal/par"
 	"sparseroute/internal/serial"
 )
 
@@ -61,10 +63,29 @@ type linkState struct {
 	// diversity this is almost always exactly the pairs the surviving graph
 	// disconnects.
 	uncovered []demand.Pair
-	// atRisk lists the pairs pruning left with exactly one surviving unique
-	// candidate (while other installed candidates are dead): one more
-	// failure disconnects them. Proactive recovery targets exactly this set.
-	atRisk []demand.Pair
+	// atRisk lists the pairs proactive recovery targets, each with the
+	// trigger that put it there: pruning left it a single surviving unique
+	// candidate (one more failure disconnects it), or — when
+	// Config.AtRiskHeadroom is set — its best surviving candidate still
+	// crosses an edge whose capacity multiplier is below the threshold.
+	atRisk []atRiskPair
+}
+
+// At-risk triggers, recorded on each widening journal event.
+const (
+	// TriggerSingleSurvivor marks a pair pruned down to one surviving unique
+	// candidate while other installed candidates are dead.
+	TriggerSingleSurvivor = "single-survivor"
+	// TriggerHeadroom marks a pair whose surviving capacity headroom (the
+	// best candidate's worst edge multiplier) fell below
+	// Config.AtRiskHeadroom.
+	TriggerHeadroom = "headroom"
+)
+
+// atRiskPair is one at-risk pair and why it is at risk.
+type atRiskPair struct {
+	Pair    demand.Pair
+	Trigger string
 }
 
 // EdgeCapacity reports one degraded-but-alive edge: its ID and effective-
@@ -289,6 +310,41 @@ func (e *Engine) applyLinkEvent(fail, restore []int, degrade map[int]float64, re
 		e.metrics.capacityEvents.Add(1)
 	}
 
+	// Journal the event and any health transition it caused, so a
+	// post-incident read of /debug/events reconstructs the whole
+	// fail -> degraded -> recover sequence without scraping counters.
+	detail := map[string]any{
+		"version":   next.version,
+		"failed":    len(next.failed),
+		"degraded":  len(next.degradedCaps),
+		"uncovered": len(next.uncovered),
+	}
+	if len(fail) > 0 {
+		detail["fail"] = append([]int(nil), fail...)
+	}
+	if len(restore) > 0 {
+		detail["restore"] = append([]int(nil), restore...)
+	}
+	if replace {
+		detail["set"] = true
+	}
+	e.record(obs.EventLink, detail)
+	for id, c := range degrade {
+		e.record(obs.EventCapacity, map[string]any{
+			"edge": id, "capacity": c, "version": next.version,
+		})
+	}
+	if cur.degraded() != next.degraded() {
+		from, to := HealthOK, HealthDegraded
+		if cur.degraded() {
+			from, to = HealthDegraded, HealthOK
+		}
+		e.record(obs.EventHealth, map[string]any{
+			"from": from, "to": to, "version": next.version,
+			"failed_edges": len(next.failed), "degraded_edges": len(next.degradedCaps),
+		})
+	}
+
 	// Re-serve the active demand over the survivors. This runs after the
 	// publish so the interim renormalization and the re-adapt epoch both see
 	// the new link state.
@@ -322,24 +378,59 @@ func (e *Engine) finalizeLinkState(next *linkState) {
 			next.adaptive = rebound
 		}
 	}
-	next.atRisk = atRiskPairs(next)
+	next.atRisk = e.atRiskList(next)
 }
 
-// atRiskPairs lists the pairs pruning left with exactly one surviving unique
-// candidate while at least one installed candidate is dead. Pairs that only
-// ever had a single unique candidate (a sparse sample, not a failure) are
-// not at risk in this sense and are left alone.
-func atRiskPairs(ls *linkState) []demand.Pair {
-	if len(ls.failed) == 0 {
+// atRiskList lists the pairs proactive recovery should widen, with triggers:
+//
+//   - single-survivor: pruning left exactly one surviving unique candidate
+//     while at least one installed candidate is dead. Pairs that only ever
+//     had a single unique candidate (a sparse sample, not a failure) are not
+//     at risk in this sense and are left alone.
+//   - headroom (only when Config.AtRiskHeadroom > 0): every surviving
+//     candidate crosses a capacity-degraded edge below the threshold — the
+//     pair has no clean route, and one more brownout or failure on its best
+//     path squeezes it further.
+//
+// A pair matching both reports the single-survivor trigger (the more urgent
+// condition).
+func (e *Engine) atRiskList(ls *linkState) []atRiskPair {
+	if len(ls.capacity) == 0 {
 		return nil
 	}
-	var out []demand.Pair
+	headroom := e.cfg.AtRiskHeadroom
+	var out []atRiskPair
 	for _, p := range ls.installed.Pairs() {
-		if len(ls.serving.Unique(p.U, p.V)) == 1 && len(ls.installed.Unique(p.U, p.V)) > 1 {
-			out = append(out, p)
+		surv := ls.serving.Unique(p.U, p.V)
+		if len(ls.failed) > 0 && len(surv) == 1 && len(ls.installed.Unique(p.U, p.V)) > 1 {
+			out = append(out, atRiskPair{Pair: p, Trigger: TriggerSingleSurvivor})
+			continue
+		}
+		if headroom > 0 && len(surv) > 0 && pairHeadroom(ls, surv) < headroom {
+			out = append(out, atRiskPair{Pair: p, Trigger: TriggerHeadroom})
 		}
 	}
 	return out
+}
+
+// pairHeadroom is the pair's surviving capacity headroom: the maximum over
+// its surviving candidates of the minimum capacity multiplier along the
+// candidate (1 on fully healthy edges). 1 means at least one candidate runs
+// entirely on healthy links; below 1 every route crosses a degraded edge.
+func pairHeadroom(ls *linkState, cands []graph.Path) float64 {
+	best := 0.0
+	for _, p := range cands {
+		worst := 1.0
+		for _, id := range p.EdgeIDs {
+			if c, ok := ls.capacity[id]; ok && c < worst {
+				worst = c
+			}
+		}
+		if worst > best {
+			best = worst
+		}
+	}
+	return best
 }
 
 // recoverUncovered runs recovery resampling for next.uncovered: draw fresh
@@ -395,26 +486,59 @@ func (e *Engine) recoverUncovered(next *linkState, update *LinkUpdate) {
 	e.metrics.recoveryPaths.Add(int64(fresh.TotalPaths()))
 }
 
-// proactiveRecover resamples the pairs the event left at risk — exactly one
-// surviving unique candidate — on the survivor graph, *before* a second
-// failure can disconnect them. Fresh paths are deduplicated against the
-// installed set so a survivor graph offering no alternative route cannot
-// grow the system; a pair that gains no new unique path simply stays in the
-// at-risk report.
+// proactiveRecover widens the pairs the event left at risk *before* a
+// further failure can disconnect or squeeze them. Single-survivor pairs are
+// resampled on the survivor graph (as before); headroom-triggered pairs —
+// enabled by Config.AtRiskHeadroom — are resampled on the survivor graph
+// with the weak (below-threshold) edges additionally avoided, so the fresh
+// paths route around the brownout rather than through it. Fresh paths are
+// deduplicated against the installed set so a survivor graph offering no
+// alternative route cannot grow the system; a pair that gains no new unique
+// path simply stays in the at-risk report. Every pair that gains paths is
+// journaled as a widening event carrying its trigger.
 func (e *Engine) proactiveRecover(next *linkState, update *LinkUpdate) {
-	atRisk := atRiskPairs(next)
-	if len(atRisk) == 0 {
+	var single, weak []demand.Pair
+	for _, ar := range e.atRiskList(next) {
+		if ar.Trigger == TriggerSingleSurvivor {
+			single = append(single, ar.Pair)
+		} else {
+			weak = append(weak, ar.Pair)
+		}
+	}
+	e.widenPairs(next, update, single, TriggerSingleSurvivor, next.failed, 0x5bf03635)
+	if len(weak) > 0 {
+		// Treat below-threshold edges as failed for sampling purposes only:
+		// candidates through them keep serving, but replacements avoid them.
+		avoid := make(map[int]bool, len(next.failed)+len(next.capacity))
+		for id := range next.failed {
+			avoid[id] = true
+		}
+		for id, c := range next.capacity {
+			if c < e.cfg.AtRiskHeadroom {
+				avoid[id] = true
+			}
+		}
+		e.widenPairs(next, update, weak, TriggerHeadroom, avoid, 0x2c1b3c6d)
+	}
+}
+
+// widenPairs is one proactive-widening pass: sample fresh candidates for the
+// given at-risk pairs from a router built avoiding the given edge set, merge
+// the genuinely new unique paths into the installed system, and journal one
+// widening event per pair that gained a path.
+func (e *Engine) widenPairs(next *linkState, update *LinkUpdate, pairs []demand.Pair, trigger string, avoid map[int]bool, salt uint64) {
+	if len(pairs) == 0 {
 		return
 	}
-	router, err := e.survivorRouter(next.failed)
+	router, err := e.survivorRouter(avoid)
 	if err != nil {
 		e.metrics.recoveryFailed.Add(1)
 		return
 	}
-	// Salted differently from recoverUncovered so the two per-event samples
-	// are decorrelated.
-	seed := e.cfg.Seed ^ (next.version * 0x9e3779b97f4a7c15) ^ 0x5bf03635
-	fresh, err := core.RSample(router, atRisk, e.cfg.R, seed)
+	// Salted differently from recoverUncovered (and per trigger) so the
+	// per-event samples are decorrelated.
+	seed := e.cfg.Seed ^ (next.version * 0x9e3779b97f4a7c15) ^ salt
+	fresh, err := core.RSample(router, pairs, e.cfg.R, seed)
 	if err != nil {
 		e.metrics.recoveryFailed.Add(1)
 		return
@@ -426,11 +550,12 @@ func (e *Engine) proactiveRecover(next *linkState, update *LinkUpdate) {
 		return
 	}
 	added := 0
-	for _, pr := range atRisk {
+	for _, pr := range pairs {
 		have := make(map[string]bool)
 		for _, p := range next.installed.Paths(pr.U, pr.V) {
 			have[p.Key()] = true
 		}
+		gained := 0
 		for _, p := range fresh.Paths(pr.U, pr.V) {
 			if have[p.Key()] {
 				continue
@@ -439,8 +564,17 @@ func (e *Engine) proactiveRecover(next *linkState, update *LinkUpdate) {
 				continue
 			}
 			have[p.Key()] = true
-			added++
+			gained++
 		}
+		if gained > 0 {
+			e.record(obs.EventWidening, map[string]any{
+				"pair":    fmt.Sprintf("%d-%d", pr.U, pr.V),
+				"trigger": trigger,
+				"added":   gained,
+				"version": next.version,
+			})
+		}
+		added += gained
 	}
 	if added == 0 {
 		return
@@ -450,8 +584,8 @@ func (e *Engine) proactiveRecover(next *linkState, update *LinkUpdate) {
 	next.uncovered = next.serving.UncoveredPairs(merged.Pairs())
 	next.hash = serial.PathSystemHash(merged)
 
-	update.ProactivePairs = len(atRisk)
-	update.ProactivePaths = added
+	update.ProactivePairs += len(pairs)
+	update.ProactivePaths += added
 	e.metrics.proactiveResamples.Add(1)
 	e.metrics.proactivePaths.Add(int64(added))
 }
@@ -587,7 +721,7 @@ func (e *Engine) reRouteActive(ls *linkState) {
 	e.pending[interim] = struct{}{}
 	e.nextEpoch++
 	resolve := e.nextEpoch
-	if e.pool.TrySubmit(func() { e.solve(resolve, served) }) {
+	if e.pool.TrySubmit(par.Timed(func(wait time.Duration) { e.solve(resolve, served, wait) })) {
 		e.pending[resolve] = struct{}{}
 	} else {
 		e.nextEpoch--
@@ -605,7 +739,21 @@ func (e *Engine) reRouteActive(ls *linkState) {
 		Congestion: cong,
 		SolvedAt:   time.Now(),
 	})
+	elapsed := msSince(start)
 	e.metrics.renormalizedServes.Add(1)
+	// The interim publish is an epoch too: trace it so /debug/trace shows
+	// the renormalized degraded-mode serve between the link event and the
+	// full re-adapt that follows.
+	e.tracer.Record(&obs.EpochTrace{
+		Epoch:      interim,
+		Start:      start,
+		Attempts:   []obs.Attempt{{Stage: "renormalize", Ms: elapsed, OK: true}},
+		SolveMs:    elapsed,
+		PublishMs:  elapsed,
+		TotalMs:    elapsed,
+		Outcome:    obs.OutcomeRenormalized,
+		Congestion: cong,
+	})
 	e.finish(&Outcome{
 		Epoch:        interim,
 		OK:           true,

@@ -39,17 +39,20 @@ type Metrics struct {
 	compactedPaths     expvar.Int // accumulated recovery paths dropped by compaction
 	solveRetries       expvar.Int // retry stages run beyond first solve attempts
 	renormalizedServes expvar.Int // interim renormalized publishes after link events
+	slowSolves         expvar.Int // epochs over Config.SlowSolveThreshold
 
-	mu   sync.Mutex
-	lat  *stats.Ring // solve latencies, seconds
-	cong *stats.Ring // per-epoch congestion
+	mu    sync.Mutex
+	lat   *stats.Ring // solve latencies, seconds
+	cong  *stats.Ring // per-epoch congestion
+	queue *stats.Ring // queue waits, seconds
 }
 
 func newMetrics(e *Engine) *Metrics {
 	m := &Metrics{
-		vars: new(expvar.Map).Init(),
-		lat:  stats.NewRing(e.cfg.LatencyWindow),
-		cong: stats.NewRing(e.cfg.LatencyWindow),
+		vars:  new(expvar.Map).Init(),
+		lat:   stats.NewRing(e.cfg.LatencyWindow),
+		cong:  stats.NewRing(e.cfg.LatencyWindow),
+		queue: stats.NewRing(e.cfg.LatencyWindow),
 	}
 	m.vars.Set("epochs_received", &m.received)
 	m.vars.Set("epochs_solved", &m.solved)
@@ -70,6 +73,7 @@ func newMetrics(e *Engine) *Metrics {
 	m.vars.Set("compacted_paths", &m.compactedPaths)
 	m.vars.Set("solve_retries", &m.solveRetries)
 	m.vars.Set("renormalized_serves", &m.renormalizedServes)
+	m.vars.Set("slow_solves", &m.slowSolves)
 	m.vars.Set("failed_edges", expvar.Func(func() any {
 		return len(e.links.Load().failed)
 	}))
@@ -100,6 +104,9 @@ func newMetrics(e *Engine) *Metrics {
 	m.vars.Set("congestion", expvar.Func(func() any {
 		return m.window(m.cong)
 	}))
+	m.vars.Set("queue_wait_seconds", expvar.Func(func() any {
+		return m.window(m.queue)
+	}))
 	// The path system is no longer fixed for the engine's lifetime: recovery
 	// resampling installs fresh paths and pruning shrinks the serving set,
 	// so the summary is computed at scrape time from the current link state.
@@ -129,6 +136,13 @@ func (m *Metrics) observeSolve(latency time.Duration, congestion float64) {
 	m.mu.Lock()
 	m.lat.Push(latency.Seconds())
 	m.cong.Push(congestion)
+	m.mu.Unlock()
+}
+
+// observeQueueWait records one epoch's fair-pool queue wait.
+func (m *Metrics) observeQueueWait(wait time.Duration) {
+	m.mu.Lock()
+	m.queue.Push(wait.Seconds())
 	m.mu.Unlock()
 }
 
@@ -173,3 +187,8 @@ func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 // JSON returns the registry rendered as its /debug/vars JSON object — the
 // per-shard payload a fleet embeds in its rolled-up vars.
 func (m *Metrics) JSON() string { return m.vars.String() }
+
+// Vars exposes the underlying registry for structured walkers (the /metrics
+// Prometheus translation). Gauges are expvar.Func closures computed at call
+// time; the map itself is safe for concurrent iteration.
+func (m *Metrics) Vars() *expvar.Map { return m.vars }

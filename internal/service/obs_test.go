@@ -1,0 +1,488 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sparseroute/internal/core"
+	"sparseroute/internal/demand"
+	"sparseroute/internal/flow"
+	"sparseroute/internal/graph"
+	"sparseroute/internal/mcf"
+	"sparseroute/internal/obs"
+
+	"context"
+)
+
+func solveOne(t *testing.T, e *Engine, u, v int, amount float64) *Outcome {
+	t.Helper()
+	d := demand.New()
+	d.Set(u, v, amount)
+	epoch, err := e.SubmitDemand(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Wait(waitCtx(t), epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func lastTrace(t *testing.T, e *Engine) *obs.EpochTrace {
+	t.Helper()
+	trs := e.Tracer().Traces(1)
+	if len(trs) != 1 {
+		t.Fatalf("traces: %d, want 1", len(trs))
+	}
+	return trs[0]
+}
+
+func TestEpochTraceRecorded(t *testing.T) {
+	e := testEngine(t, Config{Seed: 1})
+	out := solveOne(t, e, 0, 7, 2)
+	if !out.OK {
+		t.Fatalf("outcome %+v", out)
+	}
+	tr := lastTrace(t, e)
+	if tr.Epoch != 1 {
+		t.Fatalf("trace epoch %d, want 1", tr.Epoch)
+	}
+	if tr.Outcome != obs.OutcomeSolved {
+		t.Fatalf("trace outcome %q, want solved", tr.Outcome)
+	}
+	if tr.Solver != "exact" && tr.Solver != "mwu" {
+		t.Fatalf("trace solver %q, want exact or mwu", tr.Solver)
+	}
+	if len(tr.Attempts) != 1 || tr.Attempts[0].Stage != "adapt" || !tr.Attempts[0].OK {
+		t.Fatalf("trace attempts %+v, want one successful adapt", tr.Attempts)
+	}
+	if tr.QueueWaitMs < 0 || tr.SolveMs < 0 || tr.PublishMs < 0 {
+		t.Fatalf("negative timings in trace %+v", tr)
+	}
+	if tr.TotalMs < tr.SolveMs {
+		t.Fatalf("total %vms < solve %vms", tr.TotalMs, tr.SolveMs)
+	}
+	if tr.Congestion != out.Congestion {
+		t.Fatalf("trace congestion %v, want %v", tr.Congestion, out.Congestion)
+	}
+	if tr.Retries != 0 || tr.DroppedPairs != 0 {
+		t.Fatalf("trace %+v, want no retries/drops", tr)
+	}
+}
+
+func TestEpochTraceMWUProgress(t *testing.T) {
+	e := testEngine(t, Config{Seed: 2, Adapt: &core.AdaptOptions{
+		ExactThreshold: -1,
+		MWU:            mcf.Options{Iterations: 40, ProgressEvery: 8},
+	}})
+	if out := solveOne(t, e, 0, 7, 1); !out.OK {
+		t.Fatalf("outcome %+v", out)
+	}
+	tr := lastTrace(t, e)
+	if tr.Solver != "mwu" {
+		t.Fatalf("solver %q, want mwu (exact disabled)", tr.Solver)
+	}
+	if tr.MWURounds != 40 {
+		t.Fatalf("mwu rounds %d, want 40", tr.MWURounds)
+	}
+	if tr.ConvergenceGap < 0 {
+		t.Fatalf("convergence gap %v, want >= 0", tr.ConvergenceGap)
+	}
+}
+
+func TestEpochTraceRetryChain(t *testing.T) {
+	e := testEngine(t, Config{Seed: 3, RetryBackoff: time.Millisecond})
+	// Prime a good routing so the renormalize stage has something to scale.
+	if out := solveOne(t, e, 0, 7, 1); !out.OK {
+		t.Fatalf("prime outcome %+v", out)
+	}
+	e.adapt = func(ctx context.Context, ps *core.PathSystem, d *demand.Demand, opt *core.AdaptOptions) (flow.Routing, error) {
+		return nil, fmt.Errorf("injected solver failure")
+	}
+	out := solveOne(t, e, 0, 7, 1)
+	if !out.OK || !out.Renormalized || out.Retries != 2 {
+		t.Fatalf("outcome %+v, want renormalized with 2 retries", out)
+	}
+	tr := lastTrace(t, e)
+	stages := make([]string, len(tr.Attempts))
+	for i, a := range tr.Attempts {
+		stages[i] = a.Stage
+	}
+	want := []string{"adapt", "forced-mwu", "renormalize"}
+	if len(stages) != 3 || stages[0] != want[0] || stages[1] != want[1] || stages[2] != want[2] {
+		t.Fatalf("attempt stages %v, want %v", stages, want)
+	}
+	for _, a := range tr.Attempts[:2] {
+		if a.OK || !strings.Contains(a.Err, "injected solver failure") {
+			t.Fatalf("failed attempt %+v, want recorded error", a)
+		}
+	}
+	if !tr.Attempts[2].OK || tr.Attempts[2].Err != "" {
+		t.Fatalf("renormalize attempt %+v, want OK", tr.Attempts[2])
+	}
+	if tr.Retries != 2 || tr.Outcome != obs.OutcomeSolved {
+		t.Fatalf("trace %+v, want solved after 2 retries", tr)
+	}
+}
+
+func TestSolveFailureJournaledAndTraced(t *testing.T) {
+	e := testEngine(t, Config{Seed: 4, SolveRetries: -1})
+	e.adapt = func(ctx context.Context, ps *core.PathSystem, d *demand.Demand, opt *core.AdaptOptions) (flow.Routing, error) {
+		return nil, fmt.Errorf("injected solver failure")
+	}
+	out := solveOne(t, e, 0, 7, 1)
+	if out.OK || !out.Fallback {
+		t.Fatalf("outcome %+v, want fallback", out)
+	}
+	tr := lastTrace(t, e)
+	if tr.Outcome != obs.OutcomeFallback {
+		t.Fatalf("trace outcome %q, want fallback", tr.Outcome)
+	}
+	var failures []obs.Event
+	for _, ev := range e.Events() {
+		if ev.Type == obs.EventSolveFailure {
+			failures = append(failures, ev)
+		}
+	}
+	if len(failures) != 1 {
+		t.Fatalf("solve-failure events: %d, want 1", len(failures))
+	}
+	det := failures[0].Detail
+	if det["epoch"] != uint64(1) {
+		t.Fatalf("failure event epoch %v (%T), want 1", det["epoch"], det["epoch"])
+	}
+	if s, _ := det["err"].(string); !strings.Contains(s, "injected solver failure") {
+		t.Fatalf("failure event err %v, want the injected error", det["err"])
+	}
+}
+
+func TestSlowSolveEmitsStructuredLog(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(syncWriter{mu: &mu, w: &buf}, nil))
+	e := testEngine(t, Config{Seed: 5, SlowSolveThreshold: time.Nanosecond, Logger: logger})
+	if out := solveOne(t, e, 0, 7, 1); !out.OK {
+		t.Fatalf("outcome %+v", out)
+	}
+	if got := e.metrics.slowSolves.Value(); got != 1 {
+		t.Fatalf("slow_solves=%d, want 1", got)
+	}
+	mu.Lock()
+	logged := buf.String()
+	mu.Unlock()
+	if !strings.Contains(logged, "slow epoch") {
+		t.Fatalf("log %q, want a slow-epoch line", logged)
+	}
+	var line map[string]any
+	if err := json.Unmarshal([]byte(strings.Split(logged, "\n")[0]), &line); err != nil {
+		t.Fatalf("slow-epoch line is not JSON: %v", err)
+	}
+	if line["epoch"] != float64(1) || line["outcome"] != "solved" {
+		t.Fatalf("slow-epoch line %v, want epoch 1 solved", line)
+	}
+}
+
+type syncWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (s syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// TestJournalReconstructsFailureDrill drives fail -> degraded serve ->
+// restore and asserts the whole sequence is reconstructible from the event
+// journal alone: a link event, the ok->degraded health transition, the
+// restore link event, and the degraded->ok transition, in seq order.
+func TestJournalReconstructsFailureDrill(t *testing.T) {
+	e, edges := diamondEngine(t)
+	if _, err := e.FailEdges(edges[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RestoreEdges(edges[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	events := e.Events()
+	var seq uint64
+	for _, ev := range events {
+		if ev.Seq <= seq {
+			t.Fatalf("journal out of order: %d after %d", ev.Seq, seq)
+		}
+		seq = ev.Seq
+	}
+	var health []string
+	var links int
+	for _, ev := range events {
+		switch ev.Type {
+		case obs.EventHealth:
+			health = append(health, fmt.Sprintf("%v->%v", ev.Detail["from"], ev.Detail["to"]))
+		case obs.EventLink:
+			links++
+		}
+	}
+	if links != 2 {
+		t.Fatalf("link events: %d, want 2 (fail + restore)", links)
+	}
+	if len(health) != 2 || health[0] != "ok->degraded" || health[1] != "degraded->ok" {
+		t.Fatalf("health transitions %v, want [ok->degraded degraded->ok]", health)
+	}
+}
+
+func TestCapacityEventJournaled(t *testing.T) {
+	e, edges := diamondEngine(t)
+	if _, err := e.SetCapacity(edges[0], 0.5); err != nil {
+		t.Fatal(err)
+	}
+	var caps []obs.Event
+	for _, ev := range e.Events() {
+		if ev.Type == obs.EventCapacity {
+			caps = append(caps, ev)
+		}
+	}
+	if len(caps) != 1 {
+		t.Fatalf("capacity events: %d, want 1", len(caps))
+	}
+	if caps[0].Detail["edge"] != edges[0] || caps[0].Detail["capacity"] != 0.5 {
+		t.Fatalf("capacity event detail %v", caps[0].Detail)
+	}
+}
+
+// headroomEngine is proactiveEngine's topology with headroom-based widening
+// enabled: pair (0,4) has a single installed candidate 0-4, and alternates
+// 0-1-3-4 / 0-2-5-3-4 exist in the graph for widening to discover.
+func headroomEngine(t *testing.T, cfg Config) (*Engine, map[string]int) {
+	t.Helper()
+	g := graph.New(6)
+	ids := map[string]int{
+		"01": g.AddUnitEdge(0, 1),
+		"13": g.AddUnitEdge(1, 3),
+		"02": g.AddUnitEdge(0, 2),
+		"25": g.AddUnitEdge(2, 5),
+		"53": g.AddUnitEdge(5, 3),
+		"04": g.AddUnitEdge(0, 4),
+		"43": g.AddUnitEdge(4, 3),
+	}
+	ps := core.NewPathSystem(g)
+	for _, p := range []graph.Path{
+		{Src: 0, Dst: 3, EdgeIDs: []int{ids["01"], ids["13"]}},
+		{Src: 0, Dst: 3, EdgeIDs: []int{ids["02"], ids["25"], ids["53"]}},
+		{Src: 0, Dst: 4, EdgeIDs: []int{ids["04"]}},
+	} {
+		if err := ps.AddPath(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg.Graph = g
+	cfg.System = ps
+	if cfg.R == 0 {
+		cfg.R = 2
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e, ids
+}
+
+func TestHeadroomWideningJournaled(t *testing.T) {
+	e, ids := headroomEngine(t, Config{AtRiskHeadroom: 0.5})
+
+	// Browning out 0-4 leaves pair (0,4)'s only candidate under the headroom
+	// threshold; the proactive pass samples a replacement avoiding the weak
+	// edge and journals the decision with its trigger.
+	update, err := e.SetCapacity(ids["04"], 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if update.ProactivePairs != 1 || update.ProactivePaths == 0 {
+		t.Fatalf("update %+v, want pair (0,4) widened", update)
+	}
+	var widen []obs.Event
+	for _, ev := range e.Events() {
+		if ev.Type == obs.EventWidening {
+			widen = append(widen, ev)
+		}
+	}
+	if len(widen) != 1 {
+		t.Fatalf("widening events: %d, want 1", len(widen))
+	}
+	det := widen[0].Detail
+	if det["pair"] != "0-4" || det["trigger"] != TriggerHeadroom {
+		t.Fatalf("widening detail %v, want pair 0-4 trigger headroom", det)
+	}
+	// The widened candidates avoid the weak edge.
+	fresh := 0
+	for _, p := range e.System().Unique(0, 4) {
+		uses := false
+		for _, id := range p.EdgeIDs {
+			if id == ids["04"] {
+				uses = true
+			}
+		}
+		if !uses {
+			fresh++
+		}
+	}
+	if fresh == 0 {
+		t.Fatal("no widened candidate avoids the weak edge")
+	}
+	// Pair (0,3) still has a clean candidate (headroom 1): left alone.
+	if got := len(e.InstalledSystem().Unique(0, 3)); got != 2 {
+		t.Fatalf("candidates for (0,3): %d, want the 2 originals", got)
+	}
+
+	// Restoring full capacity compacts the widening away.
+	if _, err := e.SetCapacity(ids["04"], 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.InstalledSystem().Unique(0, 4)); got != 1 {
+		t.Fatalf("candidates for (0,4) after restore: %d, want 1", got)
+	}
+}
+
+func TestHeadroomWideningDisabledByDefault(t *testing.T) {
+	e, ids := headroomEngine(t, Config{})
+	if _, err := e.SetCapacity(ids["04"], 0.2); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range e.Events() {
+		if ev.Type == obs.EventWidening {
+			t.Fatalf("widening event %v with AtRiskHeadroom disabled", ev)
+		}
+	}
+	if n := e.Links().AtRiskPairs; n != 0 {
+		t.Fatalf("at-risk pairs: %d, want 0 with headroom disabled", n)
+	}
+}
+
+func TestHTTPTraceEventsAndMetrics(t *testing.T) {
+	_, e, ts := testServer(t, Config{Seed: 9}, "")
+	if out := solveOne(t, e, 0, 7, 1); !out.OK {
+		t.Fatalf("outcome %+v", out)
+	}
+	if out := solveOne(t, e, 1, 6, 1); !out.OK {
+		t.Fatalf("outcome %+v", out)
+	}
+
+	code, body := getJSON(t, ts.URL+"/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace status %d", code)
+	}
+	traces, _ := body["traces"].([]any)
+	if len(traces) != 2 {
+		t.Fatalf("traces: %d, want 2", len(traces))
+	}
+	first, _ := traces[0].(map[string]any)
+	if first["epoch"] != float64(2) || first["outcome"] != "solved" {
+		t.Fatalf("newest trace %v, want epoch 2 solved", first)
+	}
+
+	code, body = getJSON(t, ts.URL+"/debug/trace?n=1")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace?n=1 status %d", code)
+	}
+	if traces, _ := body["traces"].([]any); len(traces) != 1 {
+		t.Fatalf("traces with n=1: %d, want 1", len(traces))
+	}
+	if code, _ := getJSON(t, ts.URL+"/debug/trace?n=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("/debug/trace?n=bogus status %d, want 400", code)
+	}
+
+	code, body = getJSON(t, ts.URL+"/debug/events")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/events status %d", code)
+	}
+	if _, ok := body["events"]; !ok {
+		t.Fatalf("/debug/events body %v, want an events key", body)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(raw); err != nil {
+		t.Fatalf("/metrics is not valid exposition: %v\n%s", err, raw)
+	}
+	for _, want := range []string{
+		"sparseroute_engine_epochs_received 2",
+		"sparseroute_engine_epochs_solved 2",
+		`sparseroute_engine_solve_latency_seconds{stat="p50"}`,
+		"sparseroute_engine_path_system_info{",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, raw)
+		}
+	}
+}
+
+// TestObsScrapeDuringSolves hammers the trace ring, journal, and Prometheus
+// rendering while epochs solve and link events apply — the race detector is
+// the assertion.
+func TestObsScrapeDuringSolves(t *testing.T) {
+	e, edges := diamondEngine(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.Tracer().Traces(0)
+			e.Events()
+			p := obs.NewProm()
+			p.FromVars("sparseroute_engine", nil, e.Metrics().Vars())
+			var sb strings.Builder
+			if _, err := p.WriteTo(&sb); err != nil {
+				t.Errorf("render: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := e.FailEdges(edges[1]); err != nil {
+				t.Errorf("fail: %v", err)
+				return
+			}
+			if _, err := e.RestoreEdges(edges[1]); err != nil {
+				t.Errorf("restore: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		solveOne(t, e, 0, 1, 1)
+	}
+	close(stop)
+	wg.Wait()
+}

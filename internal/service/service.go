@@ -18,12 +18,14 @@ package service
 
 import (
 	"errors"
+	"log/slog"
 	"time"
 
 	"sparseroute/internal/core"
 	"sparseroute/internal/demand"
 	"sparseroute/internal/graph"
 	"sparseroute/internal/oblivious"
+	"sparseroute/internal/obs"
 	"sparseroute/internal/par"
 )
 
@@ -95,6 +97,34 @@ type Config struct {
 	// LatencyWindow is the number of recent solves the latency/congestion
 	// quantiles cover. Default 256.
 	LatencyWindow int
+	// TraceDepth bounds the per-engine ring of epoch lifecycle traces served
+	// on /debug/trace. Default 64.
+	TraceDepth int
+	// SlowSolveThreshold makes epochs whose total (solve + publish) time
+	// crosses it emit one structured log line and count in slow_solves. 0
+	// disables the log.
+	SlowSolveThreshold time.Duration
+	// JournalDepth bounds the engine's private event journal. Default 256.
+	// Ignored when Journal is set.
+	JournalDepth int
+	// Journal, when non-nil, is a shared event journal the engine records
+	// into instead of creating its own — a fleet passes one journal to every
+	// shard so the record survives shard eviction and /debug/events reads a
+	// single time-ordered stream.
+	Journal *obs.Journal
+	// JournalShard tags this engine's journal entries (the fleet's topology
+	// ID). Empty for a standalone engine.
+	JournalShard string
+	// AtRiskHeadroom, when positive, extends the at-risk pair set beyond
+	// failure-squeezed pairs: a pair whose best surviving candidate still
+	// crosses an edge with capacity multiplier below this threshold is
+	// treated as at-risk, and proactive widening samples it replacement
+	// paths that avoid the weak links. 0 (default) disables headroom-based
+	// widening.
+	AtRiskHeadroom float64
+	// Logger receives the slow-solve structured log lines. Nil means
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +148,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RecoveryPathCap == 0 {
 		c.RecoveryPathCap = 2 * c.R
+	}
+	if c.TraceDepth <= 0 {
+		c.TraceDepth = 64
+	}
+	if c.JournalDepth <= 0 {
+		c.JournalDepth = 256
 	}
 	return c
 }

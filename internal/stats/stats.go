@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Mean returns the arithmetic mean (0 for empty input).
@@ -96,10 +97,13 @@ func Stddev(xs []float64) float64 {
 }
 
 // Ring is a fixed-capacity sliding window of observations: once full, each
-// Push evicts the oldest value. The serving-side metrics registry uses it to
-// report solve-latency quantiles over the recent past instead of the whole
-// process lifetime. Not safe for concurrent use; callers synchronize.
+// Push evicts the oldest value. The serving-side metrics registries use it to
+// report latency/congestion quantiles over the recent past instead of the
+// whole process lifetime. Safe for concurrent use: observations land from
+// solver workers while /debug/vars and /metrics scrapes read the window, so
+// the ring synchronizes internally rather than trusting every caller to.
 type Ring struct {
+	mu   sync.Mutex
 	buf  []float64
 	n    int // number of live values (<= cap)
 	next int // index the next Push writes
@@ -115,6 +119,8 @@ func NewRing(capacity int) *Ring {
 
 // Push records x, evicting the oldest observation when full.
 func (r *Ring) Push(x float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.buf[r.next] = x
 	r.next = (r.next + 1) % len(r.buf)
 	if r.n < len(r.buf) {
@@ -123,11 +129,17 @@ func (r *Ring) Push(x float64) {
 }
 
 // Len returns the number of live observations.
-func (r *Ring) Len() int { return r.n }
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
 
 // Values returns the live observations, oldest first, as a fresh slice safe
 // for the caller to sort or keep.
 func (r *Ring) Values() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]float64, 0, r.n)
 	if r.n < len(r.buf) {
 		out = append(out, r.buf[:r.n]...)

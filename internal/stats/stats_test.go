@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -180,5 +181,66 @@ func TestRingQuantileIntegration(t *testing.T) {
 	}
 	if q := Quantile(r.Values(), 0.5); q < 50 || q > 51 {
 		t.Fatalf("median=%v", q)
+	}
+}
+
+func TestRingMultipleWraparounds(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 11; i++ {
+		r.Push(float64(i))
+		// After every push the window is exactly the last min(i,4) values,
+		// oldest first, regardless of how many times the ring has wrapped.
+		got := r.Values()
+		n := i
+		if n > 4 {
+			n = 4
+		}
+		if len(got) != n {
+			t.Fatalf("after %d pushes: len=%d, want %d", i, len(got), n)
+		}
+		for j := 0; j < n; j++ {
+			if want := float64(i - n + 1 + j); got[j] != want {
+				t.Fatalf("after %d pushes: got %v, want oldest-first window ending at %d", i, got, i)
+			}
+		}
+	}
+}
+
+func TestRingConcurrentPushAndValues(t *testing.T) {
+	r := NewRing(8)
+	var pushers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		pushers.Add(1)
+		go func(w int) {
+			defer pushers.Done()
+			for i := 0; i < 500; i++ {
+				r.Push(float64(w*1000 + i))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			vs := r.Values()
+			if len(vs) > 8 {
+				t.Errorf("window overflow: %d values", len(vs))
+				return
+			}
+			r.Len()
+			Quantile(vs, 0.5)
+		}
+	}()
+	pushers.Wait()
+	close(stop)
+	<-scraped
+	if r.Len() != 8 {
+		t.Fatalf("len=%d, want full window", r.Len())
 	}
 }
