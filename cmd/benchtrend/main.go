@@ -14,6 +14,14 @@
 // -threshold sets the allowed relative increase (0.25 = fail beyond +25%);
 // CI machines vary enough run-to-run that thresholds below ~0.5 belong on
 // dedicated hardware only.
+//
+// The warm-start pipeline is gated absolutely, on the new artifact alone:
+// each topology that carries warm-vs-cold measurements must keep its
+// warm/cold mean-latency ratio under -warm-ratio-max (the delta fast path
+// exists to be cheaper than a cold re-solve) and its worst warm-vs-cold
+// congestion gap under -warm-cong-max (incremental epochs must not trade
+// away routing quality). Rows without warm measurements — older artifacts,
+// or topologies whose warm windows are empty — are skipped, never failed.
 package main
 
 import (
@@ -38,6 +46,12 @@ type topology struct {
 	Paths    int    `json:"paths"`
 	Solve    window `json:"solve"`
 	Read     window `json:"read"`
+	// Warm-start measurements; zero-valued in artifacts that predate them.
+	WarmSolve           window  `json:"warm_solve"`
+	ColdResolve         window  `json:"cold_resolve"`
+	WarmColdRatio       float64 `json:"warm_cold_ratio"`
+	WarmCongestionDelta float64 `json:"warm_congestion_delta"`
+	DeltaEpochs         int     `json:"delta_epochs"`
 }
 
 type report struct {
@@ -100,12 +114,44 @@ func compare(oldR, newR *report, threshold, floorMS float64) []verdict {
 	return out
 }
 
+// warmVerdict is one topology's warm-start gate row. Unlike the latency
+// trend, the warm gate is absolute and needs only the new artifact: the
+// warm/cold ratio and congestion gap are self-relative measurements.
+type warmVerdict struct {
+	topo    string
+	ratio   float64
+	congGap float64
+	deltas  int
+	skipped string // non-empty: why the row cannot fail the gate
+	slow    bool   // warm solves not cheap enough vs cold
+	lossy   bool   // warm congestion too far from cold
+}
+
+// gateWarm builds the warm-start verdicts for newR. Topologies without warm
+// measurements (old artifacts, or empty warm windows) are skipped.
+func gateWarm(newR *report, ratioMax, congMax float64) []warmVerdict {
+	var out []warmVerdict
+	for _, tp := range newR.Topologies {
+		v := warmVerdict{topo: tp.Topology, ratio: tp.WarmColdRatio, congGap: tp.WarmCongestionDelta, deltas: tp.DeltaEpochs}
+		if tp.WarmSolve.Count == 0 || tp.ColdResolve.Count == 0 {
+			v.skipped = "no warm measurements"
+		} else {
+			v.slow = ratioMax > 0 && v.ratio > ratioMax
+			v.lossy = congMax > 0 && v.congGap > congMax
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
 func main() {
 	var (
-		oldPath   = flag.String("old", "BENCH_engine.json", "baseline artifact (the committed one)")
-		newPath   = flag.String("new", "", "fresh artifact to compare against the baseline")
-		threshold = flag.Float64("threshold", 0.25, "allowed relative solve-latency increase before failing (0.25 = +25%)")
-		floorMS   = flag.Float64("floor-ms", 0.05, "skip topologies whose baseline mean solve is below this many ms (too fast to compare)")
+		oldPath      = flag.String("old", "BENCH_engine.json", "baseline artifact (the committed one)")
+		newPath      = flag.String("new", "", "fresh artifact to compare against the baseline")
+		threshold    = flag.Float64("threshold", 0.25, "allowed relative solve-latency increase before failing (0.25 = +25%)")
+		floorMS      = flag.Float64("floor-ms", 0.05, "skip topologies whose baseline mean solve is below this many ms (too fast to compare)")
+		warmRatioMax = flag.Float64("warm-ratio-max", 0.75, "fail when a topology's warm/cold mean solve-latency ratio exceeds this (0 disables)")
+		warmCongMax  = flag.Float64("warm-cong-max", 0.02, "fail when a topology's worst warm-vs-cold congestion gap exceeds this (0 disables)")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -137,8 +183,37 @@ func main() {
 				v.topo, v.oldMean, v.newMean, (v.ratio-1)*100)
 		}
 	}
+	warmFailed := false
+	for _, v := range gateWarm(newR, *warmRatioMax, *warmCongMax) {
+		switch {
+		case v.skipped != "":
+			fmt.Printf("benchtrend: %-14s warm  (skipped: %s)\n", v.topo, v.skipped)
+		case v.slow || v.lossy:
+			warmFailed = true
+			why := ""
+			if v.slow {
+				why = fmt.Sprintf("ratio %.3f > %.3f", v.ratio, *warmRatioMax)
+			}
+			if v.lossy {
+				if why != "" {
+					why += ", "
+				}
+				why += fmt.Sprintf("cong gap %.4f > %.4f", v.congGap, *warmCongMax)
+			}
+			fmt.Printf("benchtrend: %-14s warm ratio %.3f, cong gap %.4f, %d delta epochs  (%s)  REGRESSION\n",
+				v.topo, v.ratio, v.congGap, v.deltas, why)
+		default:
+			fmt.Printf("benchtrend: %-14s warm ratio %.3f, cong gap %.4f, %d delta epochs  ok\n",
+				v.topo, v.ratio, v.congGap, v.deltas)
+		}
+	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "benchtrend: solve latency regressed beyond the budget")
+	}
+	if warmFailed {
+		fmt.Fprintln(os.Stderr, "benchtrend: warm-start pipeline out of budget")
+	}
+	if failed || warmFailed {
 		os.Exit(1)
 	}
 }

@@ -73,6 +73,56 @@ func TestLoadRejectsEmptyArtifact(t *testing.T) {
 	}
 }
 
+func warmTopo(name string, ratio, congGap float64) topology {
+	tp := topo(name, 1.0)
+	tp.WarmSolve = window{Count: 8, Mean: ratio}
+	tp.ColdResolve = window{Count: 8, Mean: 1.0}
+	tp.WarmColdRatio = ratio
+	tp.WarmCongestionDelta = congGap
+	tp.DeltaEpochs = 8
+	return tp
+}
+
+func TestGateWarmFlagsSlowAndLossy(t *testing.T) {
+	newR := &report{Topologies: []topology{
+		warmTopo("ok", 0.3, 0.005),
+		warmTopo("slow", 0.9, 0.005),
+		warmTopo("lossy", 0.3, 0.05),
+	}}
+	vs := gateWarm(newR, 0.75, 0.02)
+	if len(vs) != 3 {
+		t.Fatalf("verdicts: %d, want 3", len(vs))
+	}
+	if vs[0].slow || vs[0].lossy || vs[0].skipped != "" {
+		t.Fatalf("in-budget row misjudged: %+v", vs[0])
+	}
+	if !vs[1].slow || vs[1].lossy {
+		t.Fatalf("ratio 0.9 not flagged slow under a 0.75 budget: %+v", vs[1])
+	}
+	if vs[2].slow || !vs[2].lossy {
+		t.Fatalf("cong gap 0.05 not flagged lossy under a 0.02 budget: %+v", vs[2])
+	}
+}
+
+// TestGateWarmSkipsLegacyArtifacts pins backward compatibility: artifacts
+// written before the warm-start fields existed decode with empty warm
+// windows, and those rows must skip — never fail — the warm gate.
+func TestGateWarmSkipsLegacyArtifacts(t *testing.T) {
+	newR := &report{Topologies: []topology{topo("legacy", 1.0)}}
+	vs := gateWarm(newR, 0.75, 0.02)
+	if len(vs) != 1 || vs[0].skipped == "" || vs[0].slow || vs[0].lossy {
+		t.Fatalf("legacy row should skip the warm gate: %+v", vs)
+	}
+}
+
+func TestGateWarmZeroDisables(t *testing.T) {
+	newR := &report{Topologies: []topology{warmTopo("wild", 5.0, 0.5)}}
+	vs := gateWarm(newR, 0, 0)
+	if vs[0].slow || vs[0].lossy {
+		t.Fatalf("zero budgets should disable the warm gate: %+v", vs[0])
+	}
+}
+
 // TestLoadCommittedArtifact pins that the tool parses the real committed
 // baseline at the repo root.
 func TestLoadCommittedArtifact(t *testing.T) {

@@ -5,6 +5,12 @@
 // skips resampling entirely — then serves the online phase over HTTP:
 //
 //	POST /v1/demand     push a demand-matrix epoch (?wait=1 blocks on solve)
+//	PATCH /v1/demand    push per-pair deltas against the last submitted
+//	                    matrix ({"set":[{"u":..,"v":..,"amount":..}],
+//	                    "clear":[{"u":..,"v":..}]}); only the touched pairs
+//	                    are re-solved when the link state is unchanged, and
+//	                    full solves warm-start from the previous routing
+//	                    (-no-warm disables both)
 //	GET  /v1/paths      candidate paths + live sending rates for ?src=&dst=
 //	GET  /v1/routing    the full active routing
 //	POST /v1/links      topology event: {"fail":[...]}, {"restore":[...]},
@@ -117,10 +123,17 @@ type options struct {
 	deadline time.Duration
 	snapshot string
 
-	// observability
-	debugAddr string
-	slowSolve time.Duration
-	headroom  float64
+	// observability + retention (long-running daemons size these)
+	debugAddr      string
+	slowSolve      time.Duration
+	headroom       float64
+	outcomeHistory int
+	traceDepth     int
+	journalDepth   int
+
+	// warm-start pipeline
+	noWarm    bool
+	warmIters int
 
 	// fleet mode
 	fleetDir     string
@@ -146,6 +159,11 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.debugAddr, "debug-addr", "", "separate listen address for the pprof profiling surface (/debug/pprof/...); empty disables it")
 	fs.DurationVar(&o.slowSolve, "slow-solve", 0, "epochs slower than this (queue wait + solve + publish) emit one structured log line and count in slow_solves (0 = disabled)")
 	fs.Float64Var(&o.headroom, "headroom", 0, "capacity headroom threshold in (0,1): pairs whose every candidate crosses an edge degraded below it are proactively widened around the weak links (0 = disabled)")
+	fs.IntVar(&o.outcomeHistory, "outcome-history", 0, "epoch outcomes retained for ?wait/Wait lookups before eviction (0 = default 128)")
+	fs.IntVar(&o.traceDepth, "trace-depth", 0, "epoch lifecycle traces retained on /debug/trace (0 = default 64)")
+	fs.IntVar(&o.journalDepth, "journal-depth", 0, "events retained on /debug/events (0 = default 256)")
+	fs.BoolVar(&o.noWarm, "no-warm", false, "solve every epoch from scratch: disable MWU warm starts and the PATCH delta fast path")
+	fs.IntVar(&o.warmIters, "warm-iters", 0, "fresh MWU rounds for warm-started and delta solves (0 = default 64)")
 	fs.StringVar(&o.fleetDir, "fleet", "", "fleet mode: serve every <id>.topo.json / <id>.snap in this directory as /v1/t/<id>/... (ignores -topo/-snapshot)")
 	fs.IntVar(&o.resident, "resident", 0, "fleet mode: max engines resident at once; LRU shards snapshot to disk and reload on demand (0 = unlimited)")
 	fs.StringVar(&o.defaultShard, "default", "", "fleet mode: topology the legacy /v1/* routes alias to (default: the sole shard when exactly one exists)")
@@ -167,6 +185,11 @@ func buildEngine(o *options) (*service.Engine, bool, error) {
 		RouterName:         o.router,
 		SlowSolveThreshold: o.slowSolve,
 		AtRiskHeadroom:     o.headroom,
+		OutcomeHistory:     o.outcomeHistory,
+		TraceDepth:         o.traceDepth,
+		JournalDepth:       o.journalDepth,
+		DisableWarmStart:   o.noWarm,
+		WarmIterations:     o.warmIters,
 	}
 	if o.snapshot != "" {
 		if f, err := os.Open(o.snapshot); err == nil {
@@ -269,6 +292,11 @@ func buildFleet(o *options) (*fleet.Fleet, error) {
 			RouterName:         o.router,
 			SlowSolveThreshold: o.slowSolve,
 			AtRiskHeadroom:     o.headroom,
+			OutcomeHistory:     o.outcomeHistory,
+			TraceDepth:         o.traceDepth,
+			JournalDepth:       o.journalDepth,
+			DisableWarmStart:   o.noWarm,
+			WarmIterations:     o.warmIters,
 		},
 		Build: oblivious.BuildOptions{Dim: o.dim, Trees: o.trees, K: o.k, Seed: o.seed},
 	})

@@ -203,6 +203,22 @@ func (d *Demand) Restrict(keep func(Pair) bool) *Demand {
 	return out
 }
 
+// L1 returns Σ_p |a(p) - b(p)|, the total-variation-style distance between
+// two demand matrices. Warm-start drift guards compare it against a.Size()
+// to decide whether successive epochs are close enough to reuse a prior.
+func L1(a, b *Demand) float64 {
+	var s float64
+	for p, v := range a.m {
+		s += math.Abs(v - b.m[p])
+	}
+	for p, v := range b.m {
+		if _, ok := a.m[p]; !ok {
+			s += v
+		}
+	}
+	return s
+}
+
 // Equal reports whether two demands agree within tol on every pair.
 func Equal(a, b *Demand, tol float64) bool {
 	for p, v := range a.m {

@@ -233,3 +233,53 @@ func jsonInt(v int) string {
 	b, _ := json.Marshal(v)
 	return string(b)
 }
+
+// TestFleetHTTPPatchDemand pins that PATCH /v1/demand rides the generic
+// shard delegation on both surfaces: namespaced and legacy, with the 409
+// before-base contract intact per shard.
+func TestFleetHTTPPatchDemand(t *testing.T) {
+	_, ts := testHTTPFleet(t, []string{"east", "west"}, nil)
+
+	// PATCH before any base matrix on east: 409 from that shard's engine.
+	code, resp := do(t, "PATCH", ts.URL+"/v1/t/east/demand?wait=1",
+		`{"set":[{"u":0,"v":7,"amount":2}]}`)
+	if code != http.StatusConflict {
+		t.Fatalf("east patch before base: %d %v, want 409", code, resp)
+	}
+
+	code, resp = do(t, "POST", ts.URL+"/v1/t/east/demand?wait=1",
+		`{"entries":[{"u":0,"v":7,"amount":2}]}`)
+	if code != http.StatusOK || resp["solved"] != true {
+		t.Fatalf("east base: %d %v", code, resp)
+	}
+	code, resp = do(t, "PATCH", ts.URL+"/v1/t/east/demand?wait=1",
+		`{"set":[{"u":0,"v":7,"amount":2.02}]}`)
+	if code != http.StatusOK || resp["solved"] != true {
+		t.Fatalf("east patch: %d %v", code, resp)
+	}
+	if warm, _ := resp["warm"].(string); warm != "delta" {
+		t.Fatalf("east patch warm tag %q, want delta", warm)
+	}
+
+	// West never saw a base: its PATCH state is independent of east's.
+	code, resp = do(t, "PATCH", ts.URL+"/v1/t/west/demand?wait=1",
+		`{"set":[{"u":0,"v":7,"amount":1}]}`)
+	if code != http.StatusConflict {
+		t.Fatalf("west patch before base: %d %v, want 409", code, resp)
+	}
+}
+
+// TestFleetHTTPPatchLegacyAlias: the legacy PATCH reaches the default shard.
+func TestFleetHTTPPatchLegacyAlias(t *testing.T) {
+	_, ts := testHTTPFleet(t, []string{"solo"}, nil)
+	code, resp := do(t, "POST", ts.URL+"/v1/demand?wait=1",
+		`{"entries":[{"u":0,"v":7,"amount":1}]}`)
+	if code != http.StatusOK || resp["solved"] != true {
+		t.Fatalf("legacy base: %d %v", code, resp)
+	}
+	code, resp = do(t, "PATCH", ts.URL+"/v1/demand?wait=1",
+		`{"set":[{"u":3,"v":4,"amount":1}]}`)
+	if code != http.StatusOK || resp["solved"] != true {
+		t.Fatalf("legacy patch: %d %v", code, resp)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"sparseroute/internal/demand"
 	"sparseroute/internal/flow"
@@ -42,6 +43,35 @@ type Options struct {
 	Progress func(round int, congestion float64)
 	// ProgressEvery is the round stride between Progress calls (default 16).
 	ProgressEvery int
+	// Warm, when non-nil, seeds MinCongestionOnPaths from a prior routing's
+	// per-pair weight distributions instead of the uniform cold start: the
+	// prior is counted as Warm.Rounds virtual MWU rounds already played, so a
+	// near-optimal prior (the previous epoch's solution on a close demand
+	// matrix) lets far fewer fresh Iterations reach the same congestion.
+	// Pairs absent from the prior (or whose prior paths are no longer
+	// candidates) start cold; the returned routing still routes d exactly.
+	Warm *WarmStart
+	// BaseLoads, when non-nil, is a fixed background of relative edge loads
+	// (load divided by capacity, indexed by edge ID, length NumEdges) the
+	// solve must route around but does not control — the untouched pairs'
+	// contribution during an incremental delta solve. Path lengths and the
+	// congestion Progress reports include the background; the returned
+	// routing carries only the solved pairs' flow.
+	BaseLoads []float64
+}
+
+// WarmStart is the warm-start prior for MinCongestionOnPaths: per-pair
+// weight distributions over candidate paths, keyed by graph.Path.Key. Only
+// the ratios matter — weights need not be normalized. Build one from a prior
+// routing with core.CandidateWeights.
+type WarmStart struct {
+	// Weights maps each pair to its prior path-key -> weight distribution.
+	Weights map[demand.Pair]map[string]float64
+	// Rounds is the virtual round count the prior is worth relative to the
+	// fresh Iterations; higher values trust the prior more. Default 256 (the
+	// default Iterations), so a warm solve with Iterations: 64 is a 4:1
+	// blend of prior and fresh play.
+	Rounds int
 }
 
 func (o *Options) withDefaults() Options {
@@ -57,8 +87,22 @@ func (o *Options) withDefaults() Options {
 		if o.ProgressEvery > 0 {
 			out.ProgressEvery = o.ProgressEvery
 		}
+		out.Warm = o.Warm
+		out.BaseLoads = o.BaseLoads
 	}
 	return out
+}
+
+// warmRounds returns the virtual round count of the warm prior (0 when no
+// warm start is configured).
+func (o *Options) warmRounds() float64 {
+	if o.Warm == nil {
+		return 0
+	}
+	if o.Warm.Rounds > 0 {
+		return float64(o.Warm.Rounds)
+	}
+	return 256
 }
 
 // ErrNoCandidates is returned when a demand pair has no candidate path.
@@ -76,6 +120,15 @@ func MinCongestionOnPaths(g *graph.Graph, cand map[demand.Pair][]graph.Path, d *
 // MinCongestionOnPathsCtx is MinCongestionOnPaths under a context: the MWU
 // loop polls ctx every round and aborts with ctx.Err() when it is canceled,
 // so a deadline-bound caller stops the solve instead of orphaning it.
+//
+// With opt.Warm set, pairs present in the prior start with Warm.Rounds
+// virtual rounds already distributed per the prior (their cumulative loads
+// included), so the averaging that defines the result blends prior and
+// fresh play; each pair's final weights are normalized by its own total
+// round count, so partially seeded inputs still route d exactly. With
+// opt.BaseLoads set, the fixed background is added to the per-round state
+// when computing path lengths and reported congestion, so the solve routes
+// around flow it does not control.
 func MinCongestionOnPathsCtx(ctx context.Context, g *graph.Graph, cand map[demand.Pair][]graph.Path, d *demand.Demand, opt *Options) (flow.Routing, error) {
 	o := opt.withDefaults()
 	support := d.Support()
@@ -84,23 +137,71 @@ func MinCongestionOnPathsCtx(ctx context.Context, g *graph.Graph, cand map[deman
 			return nil, fmt.Errorf("%w: %v", ErrNoCandidates, p)
 		}
 	}
+	if o.BaseLoads != nil && len(o.BaseLoads) != g.NumEdges() {
+		return nil, fmt.Errorf("mcf: %d base loads for %d edges", len(o.BaseLoads), g.NumEdges())
+	}
 	cum := make([]float64, g.NumEdges()) // cumulative relative load
 	chosen := make(map[demand.Pair][]float64, len(support))
+	// seeded[p] is the virtual rounds pair p was warm-seeded with (its final
+	// weight denominator is Iterations + seeded[p]); warmAny is the prior's
+	// round count when at least one pair was seeded, the global round offset
+	// the averaged state represents.
+	seeded := make(map[demand.Pair]float64)
+	warmAny := 0.0
 	for _, p := range support {
 		chosen[p] = make([]float64, len(cand[p]))
+		if o.Warm == nil {
+			continue
+		}
+		prior := o.Warm.Weights[p]
+		if len(prior) == 0 {
+			continue
+		}
+		var tot float64
+		w := make([]float64, len(cand[p]))
+		for j, path := range cand[p] {
+			if pw := prior[path.Key()]; pw > 0 {
+				w[j] = pw
+				tot += pw
+			}
+		}
+		if tot <= 0 {
+			continue // prior paths are no longer candidates: cold start
+		}
+		rounds := o.warmRounds()
+		amt := d.Get(p.U, p.V)
+		for j, pw := range w {
+			if pw <= 0 {
+				continue
+			}
+			cnt := rounds * pw / tot
+			chosen[p][j] += cnt
+			for _, id := range cand[p][j].EdgeIDs {
+				cum[id] += cnt * amt / g.Edge(id).Capacity
+			}
+		}
+		seeded[p] = rounds
+		warmAny = rounds
 	}
 	for iter := 0; iter < o.Iterations; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		// rounds the cumulative state represents so far; the background is
+		// scaled by rounds+1 so it stays visible even before any fresh play
+		// (slightly overweighted early, exact in the limit).
+		rounds := float64(iter) + warmAny
 		maxCum := 0.0
-		for _, c := range cum {
+		for id, c := range cum {
+			if o.BaseLoads != nil {
+				c += (rounds + 1) * o.BaseLoads[id]
+			}
 			if c > maxCum {
 				maxCum = c
 			}
 		}
-		if o.Progress != nil && iter > 0 && iter%o.ProgressEvery == 0 {
-			o.Progress(iter, maxCum/float64(iter))
+		if o.Progress != nil && iter > 0 && iter%o.ProgressEvery == 0 && rounds > 0 {
+			o.Progress(iter, congestionEstimate(cum, o.BaseLoads, rounds))
 		}
 		for _, p := range support {
 			// Lightest candidate under lengths exp(eta*(cum-max))/cap.
@@ -108,7 +209,11 @@ func MinCongestionOnPathsCtx(ctx context.Context, g *graph.Graph, cand map[deman
 			for j, path := range cand[p] {
 				var l float64
 				for _, id := range path.EdgeIDs {
-					l += math.Exp(o.Eta*(cum[id]-maxCum)) / g.Edge(id).Capacity
+					c := cum[id]
+					if o.BaseLoads != nil {
+						c += (rounds + 1) * o.BaseLoads[id]
+					}
+					l += math.Exp(o.Eta*(c-maxCum)) / g.Edge(id).Capacity
 				}
 				if l < bestLen {
 					best, bestLen = j, l
@@ -121,15 +226,16 @@ func MinCongestionOnPathsCtx(ctx context.Context, g *graph.Graph, cand map[deman
 			}
 		}
 	}
-	reportFinal(cum, &o)
+	reportFinal(cum, &o, warmAny)
 	out := flow.New()
 	for _, p := range support {
 		amt := d.Get(p.U, p.V)
+		total := float64(o.Iterations) + seeded[p]
 		for j, cnt := range chosen[p] {
 			if cnt > 0 {
 				out[p] = append(out[p], flow.WeightedPath{
 					Path:   cand[p][j],
-					Weight: amt * cnt / float64(o.Iterations),
+					Weight: amt * cnt / total,
 				})
 			}
 		}
@@ -137,20 +243,32 @@ func MinCongestionOnPathsCtx(ctx context.Context, g *graph.Graph, cand map[deman
 	return out, nil
 }
 
-// reportFinal fires the last Progress sample after the MWU loop: cum holds
-// the full run's cumulative relative loads, so maxCum/Iterations is the exact
-// congestion of the averaged routing about to be returned.
-func reportFinal(cum []float64, o *Options) {
-	if o.Progress == nil || o.Iterations == 0 {
-		return
-	}
-	maxCum := 0.0
-	for _, c := range cum {
-		if c > maxCum {
-			maxCum = c
+// congestionEstimate is the max relative load of averaging the state in cum
+// (plus the per-round background) over `rounds` rounds. With a partially
+// seeded warm start the estimate is approximate (pairs carry different round
+// counts); the returned routing's true congestion is exact regardless.
+func congestionEstimate(cum, base []float64, rounds float64) float64 {
+	mx := 0.0
+	for id, c := range cum {
+		if base != nil {
+			c += rounds * base[id]
+		}
+		if c > mx {
+			mx = c
 		}
 	}
-	o.Progress(o.Iterations, maxCum/float64(o.Iterations))
+	return mx / rounds
+}
+
+// reportFinal fires the last Progress sample after the MWU loop: cum holds
+// the full run's cumulative relative loads (warm rounds included), so the
+// averaged estimate is the congestion of the routing about to be returned.
+func reportFinal(cum []float64, o *Options, warm float64) {
+	rounds := float64(o.Iterations) + warm
+	if o.Progress == nil || rounds == 0 {
+		return
+	}
+	o.Progress(o.Iterations, congestionEstimate(cum, o.BaseLoads, rounds))
 }
 
 // MinCongestionOnPathsExact solves the same restricted problem exactly with
@@ -164,6 +282,20 @@ func MinCongestionOnPathsExact(g *graph.Graph, cand map[demand.Pair][]graph.Path
 // the underlying simplex pivots poll ctx and abort with ctx.Err() when it is
 // canceled.
 func MinCongestionOnPathsExactCtx(ctx context.Context, g *graph.Graph, cand map[demand.Pair][]graph.Path, d *demand.Demand) (flow.Routing, error) {
+	return MinCongestionOnPathsExactBaseCtx(ctx, g, cand, d, nil)
+}
+
+// MinCongestionOnPathsExactBaseCtx solves the restricted problem exactly with
+// a fixed background load already occupying the edges: base[id] is the
+// absolute flow (same units as capacity) that sits on edge id regardless of
+// how d is routed, so each capacity row becomes Σ x + base_e ≤ z·cap_e. This
+// is the exact counterpart of Options.BaseLoads (which is relative): the
+// incremental delta step uses it to place a small set of touched pairs
+// optimally against the frozen flow of every untouched pair. A nil base is
+// the plain problem. Edges carrying background but crossed by no candidate
+// only add a constant floor to z, never changing which routing is optimal,
+// so they get no row.
+func MinCongestionOnPathsExactBaseCtx(ctx context.Context, g *graph.Graph, cand map[demand.Pair][]graph.Path, d *demand.Demand, base []float64) (flow.Routing, error) {
 	support := d.Support()
 	// Variable layout: one per (pair, candidate), then z last.
 	type varRef struct {
@@ -211,8 +343,15 @@ func MinCongestionOnPathsExactCtx(ctx context.Context, g *graph.Graph, cand map[
 	}
 	for id := 0; id < g.NumEdges(); id++ {
 		if row, ok := edgeRows[id]; ok {
+			rhs := 0.0
+			if base != nil {
+				if base[id] < 0 {
+					return nil, fmt.Errorf("mcf: negative base load %v on edge %d", base[id], id)
+				}
+				rhs = -base[id]
+			}
 			prob.A = append(prob.A, row)
-			prob.B = append(prob.B, 0)
+			prob.B = append(prob.B, rhs)
 			prob.Rel = append(prob.Rel, lp.LE)
 		}
 	}
@@ -319,11 +458,19 @@ func ApproxOptCongestionCtx(ctx context.Context, g *graph.Graph, d *demand.Deman
 			}
 		}
 	}
-	reportFinal(cum, &o)
+	reportFinal(cum, &o, 0)
 	out := flow.New()
 	for _, p := range support {
 		amt := d.Get(p.U, p.V)
-		for _, entry := range chosen[p] {
+		// Emit in sorted path-key order: map iteration order would make the
+		// routing's list order (and anything hashed from it) vary run to run.
+		keys := make([]string, 0, len(chosen[p]))
+		for k := range chosen[p] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			entry := chosen[p][k]
 			out[p] = append(out[p], flow.WeightedPath{
 				Path:   entry.path,
 				Weight: amt * entry.count / float64(o.Iterations),
@@ -338,6 +485,13 @@ func ApproxOptCongestionCtx(ctx context.Context, g *graph.Graph, d *demand.Deman
 // (directed arc variables per commodity). Exponential in nothing, but the LP
 // has |supp(d)|·2m variables: use only on small instances.
 func OptimalCongestionExact(g *graph.Graph, d *demand.Demand) (float64, error) {
+	return OptimalCongestionExactCtx(context.Background(), g, d)
+}
+
+// OptimalCongestionExactCtx is OptimalCongestionExact under a context: the
+// underlying simplex pivots poll ctx and abort with ctx.Err() when it is
+// canceled, so deadline-bound callers cancel the edge-based LP too.
+func OptimalCongestionExactCtx(ctx context.Context, g *graph.Graph, d *demand.Demand) (float64, error) {
 	support := d.Support()
 	k := len(support)
 	if k == 0 {
@@ -396,7 +550,7 @@ func OptimalCongestionExact(g *graph.Graph, d *demand.Demand) (float64, error) {
 		prob.B = append(prob.B, 0)
 		prob.Rel = append(prob.Rel, lp.LE)
 	}
-	sol, err := prob.Solve()
+	sol, err := prob.SolveCtx(ctx)
 	if err != nil {
 		return 0, fmt.Errorf("mcf: exact OPT LP failed: %w", err)
 	}

@@ -62,7 +62,22 @@ type EpochTrace struct {
 	// DroppedPairs counts demand pairs excluded for lack of surviving
 	// candidates.
 	DroppedPairs int `json:"dropped_pairs,omitempty"`
+	// WarmStart tags how the epoch's solve was seeded: "delta" (incremental
+	// touched-pair solve), "warm" (full solve seeded from the previous
+	// routing), or "cold" (from scratch). Empty on epochs predating the
+	// warm-start pipeline (interim renormalized publishes).
+	WarmStart string `json:"warm_start,omitempty"`
+	// TouchedPairs counts the pairs a delta epoch re-solved; 0 on full
+	// epochs.
+	TouchedPairs int `json:"touched_pairs,omitempty"`
 }
+
+// WarmStart tags for EpochTrace.WarmStart.
+const (
+	WarmDelta = "delta"
+	WarmWarm  = "warm"
+	WarmCold  = "cold"
+)
 
 // Trace outcomes.
 const (

@@ -12,6 +12,8 @@ import (
 	"sparseroute/internal/core"
 	"sparseroute/internal/demand"
 	"sparseroute/internal/flow"
+	"sparseroute/internal/graph"
+	"sparseroute/internal/mcf"
 	"sparseroute/internal/obs"
 	"sparseroute/internal/par"
 	"sparseroute/internal/serial"
@@ -32,6 +34,34 @@ type State struct {
 	Routing flow.Routing
 	// Congestion is Routing's maximum relative edge congestion.
 	Congestion float64
+	// EdgeLoads is Routing's absolute load per edge ID on the effective
+	// (capacity-scaled) graph the epoch solved against — the background the
+	// next delta epoch subtracts from instead of re-walking every path.
+	EdgeLoads []float64
+	// LinkVersion is the link-state version the epoch solved under. A warm
+	// start is only valid while the next epoch sees the same version: any
+	// link event changes the candidate set or the capacity denominators, so
+	// the prior would seed toward a stale optimum.
+	LinkVersion uint64
+	// Anchor is the demand matrix of the last cold-solved epoch in this
+	// state's warm chain. Incremental epochs (delta and warm-seeded) keep
+	// pairs they did not touch frozen at the placements of earlier solves, so
+	// their quality decays with the CUMULATIVE drift since the last fresh
+	// solve, not the per-epoch drift; Config.WarmMaxDrift is enforced against
+	// this anchor, and a cold solve resets it.
+	Anchor *demand.Demand
+	// Streak counts the consecutive incremental (delta or warm-seeded) epochs
+	// since the anchor's cold solve. Each incremental step re-places its
+	// touched pairs greedily against a frozen background, so chain error can
+	// grow with length even when net drift cancels; Config.WarmMaxStreak caps
+	// it.
+	Streak int
+	// Renormalized marks a state published by the no-solver renormalization
+	// path — the interim serve right after a link event, or the last retry
+	// stage. Such a routing is an emergency redistribution, not an optimum;
+	// the next epoch must not seed from it (warm anchoring would freeze the
+	// emergency placements), so it always solves cold.
+	Renormalized bool
 	// SolvedAt is when the solve finished.
 	SolvedAt time.Time
 }
@@ -55,6 +85,15 @@ type Outcome struct {
 	// DroppedPairs counts demand pairs excluded from this epoch because the
 	// current link state leaves them with no candidate paths.
 	DroppedPairs int
+	// Warm tags the seeding of the attempt that produced the epoch's routing:
+	// "delta" (incremental touched-pair solve), "warm" (full solve seeded
+	// from the previous routing), "cold" (from scratch — including a
+	// forced-MWU retry after a failed warm attempt), or empty for
+	// renormalized epochs (interim link-event publishes and the last retry
+	// stage). A fallback epoch keeps the tag of its first attempt.
+	Warm string
+	// TouchedPairs counts the pairs a delta epoch re-solved (0 otherwise).
+	TouchedPairs int
 }
 
 // Health is the engine's liveness/readiness report: a three-state machine
@@ -146,7 +185,18 @@ type Engine struct {
 	pending     map[uint64]struct{} // accepted epochs whose outcome is not in yet
 	waiters     map[uint64][]chan *Outcome
 	lastOutcome *Outcome
-	closed      bool
+	// lastSubmitted is the most recently accepted full demand matrix with
+	// any accepted patches applied — the base PATCH deltas merge into.
+	lastSubmitted *demand.Demand
+	closed        bool
+}
+
+// epochRequest is one accepted epoch's work item: the full matrix to serve
+// and, for PATCH delta epochs, the pairs that changed since the previous
+// submission (nil for full submissions).
+type epochRequest struct {
+	d       *demand.Demand
+	touched []demand.Pair
 }
 
 // New builds an engine: it samples the path system (offline phase) unless
@@ -335,7 +385,9 @@ func (e *Engine) SubmitDemand(d *demand.Demand) (uint64, error) {
 	}
 	n := e.cfg.Graph.NumVertices()
 	for _, p := range d.Support() {
-		if p.U < 0 || p.V >= n {
+		// Check both endpoints explicitly rather than leaning on MakePair
+		// canonicalization (U < V) having held on every decode path.
+		if p.U < 0 || p.U >= n || p.V < 0 || p.V >= n {
 			return 0, fmt.Errorf("service: demand pair %v outside graph with %d vertices", p, n)
 		}
 	}
@@ -347,9 +399,20 @@ func (e *Engine) SubmitDemand(d *demand.Demand) (uint64, error) {
 	if e.closed {
 		return 0, ErrClosed
 	}
+	epoch, err := e.enqueueLocked(epochRequest{d: d})
+	if err != nil {
+		return 0, err
+	}
+	e.lastSubmitted = d.Clone()
+	return epoch, nil
+}
+
+// enqueueLocked assigns the next epoch number to req and submits its solve.
+// Callers hold e.mu and have validated req.
+func (e *Engine) enqueueLocked(req epochRequest) (uint64, error) {
 	e.nextEpoch++
 	epoch := e.nextEpoch
-	if !e.pool.TrySubmit(par.Timed(func(wait time.Duration) { e.solve(epoch, d, wait) })) {
+	if !e.pool.TrySubmit(par.Timed(func(wait time.Duration) { e.solve(epoch, req, wait) })) {
 		e.nextEpoch--
 		e.metrics.shed.Add(1)
 		return 0, ErrBusy
@@ -393,8 +456,9 @@ func (e *Engine) Wait(ctx context.Context, epoch uint64) (*Outcome, error) {
 // queued behind other work before this worker picked it up; the whole
 // lifecycle — queue wait, per-attempt solve chain, MWU progress, publish —
 // is recorded as one obs.EpochTrace.
-func (e *Engine) solve(epoch uint64, d *demand.Demand, queueWait time.Duration) {
+func (e *Engine) solve(epoch uint64, req epochRequest, queueWait time.Duration) {
 	start := time.Now()
+	d := req.d
 	tr := &obs.EpochTrace{Epoch: epoch, Start: start, QueueWaitMs: ms(queueWait)}
 	mon := &solveMonitor{epoch: epoch, tracer: e.tracer}
 	defer e.tracer.ClearProgress(epoch)
@@ -416,33 +480,97 @@ func (e *Engine) solve(epoch uint64, d *demand.Demand, queueWait time.Duration) 
 		out.DroppedPairs = d.SupportSize() - served.SupportSize()
 	}
 
+	// The previous epoch's solution seeds this one only while nothing it
+	// assumed has shifted: warm starts are disabled by config, invalidated by
+	// any link event since it solved (candidate sets and capacity
+	// denominators both hang off the link version), and useless without a
+	// published routing to seed from.
+	prev := e.active.Load()
+	warmable := !e.cfg.DisableWarmStart && prev != nil && prev.Routing != nil &&
+		prev.Demand != nil && !prev.Renormalized && prev.LinkVersion == ls.version &&
+		e.withinDrift(served, prev) &&
+		(e.cfg.WarmMaxStreak < 0 || prev.Streak < e.cfg.WarmMaxStreak)
+
 	var r flow.Routing
+	var loads []float64
+	var cong float64
 	var err error
+	solved := false
 	if served.SupportSize() == 0 {
 		err = fmt.Errorf("service: no demand pair has surviving candidate paths")
-	} else {
-		r, err = e.adaptWithRetry(ctx, ls, served, out, tr, mon)
+	} else if req.touched != nil && warmable && out.DroppedPairs == 0 && prev.EdgeLoads != nil {
+		// Delta fast path: re-solve only the touched pairs against the fixed
+		// background of every untouched pair's flow — O(k·paths) instead of
+		// O(pairs·paths). Any mismatch (the previous routing no longer
+		// matches the untouched demand) falls through to a full solve.
+		t0 := time.Now()
+		opts := instrumented(e.cfg.Adapt, mon)
+		opts.MWU.Iterations = e.cfg.WarmIterations
+		res, derr := ls.adaptive.AdaptDeltaCtx(ctx, prev.Routing, prev.EdgeLoads, served, req.touched, opts)
+		a := obs.Attempt{Stage: "delta", Ms: msSince(t0), OK: derr == nil}
+		if derr != nil {
+			a.Err = derr.Error()
+		}
+		tr.Attempts = append(tr.Attempts, a)
+		switch {
+		case derr == nil:
+			r, loads, cong = res.Routing, res.EdgeLoads, res.Congestion
+			solved = true
+			out.Warm = obs.WarmDelta
+			out.TouchedPairs = len(req.touched)
+			tr.TouchedPairs = len(req.touched)
+			e.metrics.deltaEpochs.Add(1)
+		case ctx.Err() != nil:
+			err = ctx.Err()
+		}
+	}
+	if !solved && err == nil {
+		opts := instrumented(e.cfg.Adapt, mon)
+		out.Warm = obs.WarmCold
+		if warmable {
+			opts.MWU.Warm = &mcf.WarmStart{Weights: warmSeed(prev, served)}
+			opts.MWU.Iterations = e.cfg.WarmIterations
+			out.Warm = obs.WarmWarm
+			e.metrics.warmSolves.Add(1)
+		}
+		r, err = e.adaptWithRetry(ctx, ls, served, out, tr, mon, opts)
+		if err == nil {
+			eff := ls.effectiveGraph(e.cfg.Graph)
+			loads = r.EdgeLoads(eff)
+			cong = maxCongestion(eff, loads)
+		}
 	}
 	tr.SolveMs = msSince(start)
+	tr.WarmStart = out.Warm
 
 	out.Latency = time.Since(start)
 	switch {
 	case err == nil:
+		// A cold solve is a fresh optimum: it resets the drift anchor and the
+		// streak. Incremental epochs inherit the anchor and extend the streak,
+		// so cumulative drift and chain length both keep counting.
+		anchor, streak := served, 0
+		if out.Warm != obs.WarmCold && prev != nil && prev.Anchor != nil {
+			anchor, streak = prev.Anchor, prev.Streak+1
+		}
 		pubStart := time.Now()
-		cong := r.MaxCongestion(ls.effectiveGraph(e.cfg.Graph))
 		e.publish(&State{
-			Epoch:      epoch,
-			Demand:     served,
-			Routing:    r,
-			Congestion: cong,
-			SolvedAt:   time.Now(),
+			Epoch:        epoch,
+			Demand:       served,
+			Routing:      r,
+			Congestion:   cong,
+			EdgeLoads:    loads,
+			LinkVersion:  ls.version,
+			Anchor:       anchor,
+			Streak:       streak,
+			Renormalized: out.Renormalized,
+			SolvedAt:     time.Now(),
 		})
 		tr.PublishMs = msSince(pubStart)
 		tr.Outcome = obs.OutcomeSolved
 		tr.Congestion = cong
 		out.OK = true
 		out.Congestion = cong
-		out.Latency = time.Since(start)
 		e.metrics.observeSolve(out.Latency, cong)
 	case errors.Is(err, context.DeadlineExceeded):
 		tr.Outcome = obs.OutcomeCanceled
@@ -492,7 +620,12 @@ func (e *Engine) solve(epoch uint64, d *demand.Demand, queueWait time.Duration) 
 // out.Retries and the solve_retries metric. Each stage actually run is
 // appended to tr.Attempts with its wall time and outcome; mon threads the
 // solver-identity and MWU-progress callbacks into the solvers.
-func (e *Engine) adaptWithRetry(ctx context.Context, ls *linkState, d *demand.Demand, out *Outcome, tr *obs.EpochTrace, mon *solveMonitor) (flow.Routing, error) {
+//
+// opts is the (already instrumented) option set for the first attempt —
+// possibly carrying a warm-start prior. The forced-MWU retry deliberately
+// runs cold with default options: if the first attempt failed, its seeding
+// is a suspect too.
+func (e *Engine) adaptWithRetry(ctx context.Context, ls *linkState, d *demand.Demand, out *Outcome, tr *obs.EpochTrace, mon *solveMonitor, opts *core.AdaptOptions) (flow.Routing, error) {
 	attempt := func(stage string, f func() (flow.Routing, error)) (flow.Routing, error) {
 		t0 := time.Now()
 		r, err := f()
@@ -508,7 +641,7 @@ func (e *Engine) adaptWithRetry(ctx context.Context, ls *linkState, d *demand.De
 	// topology view when fractional overrides exist: same candidates, reduced
 	// congestion denominators, so a degraded link is routed around softly.
 	r, err := attempt("adapt", func() (flow.Routing, error) {
-		return e.adapt(ctx, ls.adaptive, d, instrumented(e.cfg.Adapt, mon))
+		return e.adapt(ctx, ls.adaptive, d, opts)
 	})
 	if err == nil || ctx.Err() != nil || e.cfg.SolveRetries < 0 {
 		return r, err
@@ -524,12 +657,17 @@ func (e *Engine) adaptWithRetry(ctx context.Context, ls *linkState, d *demand.De
 		return true
 	}
 
-	// Stage 2: force the MWU solver with default options.
+	// Stage 2: force the MWU solver with default options. The retry runs
+	// deliberately cold (a failed first attempt makes its seeding a suspect
+	// too), so a success here re-tags the outcome.
 	if retry(0) {
 		mwu := instrumented(&core.AdaptOptions{ExactThreshold: -1}, mon)
 		r, err = attempt("forced-mwu", func() (flow.Routing, error) {
 			return e.adapt(ctx, ls.adaptive, d, mwu)
 		})
+		if err == nil {
+			out.Warm = obs.WarmCold
+		}
 		if err == nil || ctx.Err() != nil {
 			return r, err
 		}
@@ -538,9 +676,11 @@ func (e *Engine) adaptWithRetry(ctx context.Context, ls *linkState, d *demand.De
 		return nil, ctx.Err()
 	}
 
-	// Stage 3: renormalize the previous routing over surviving paths.
+	// Stage 3: renormalize the previous routing over surviving paths — no
+	// solver, no seeding, so the outcome drops its warm tag.
 	if st := e.active.Load(); st != nil && retry(1) {
 		out.Renormalized = true
+		out.Warm = ""
 		return attempt("renormalize", func() (flow.Routing, error) {
 			return renormalizeOverSurvivors(ls, st.Routing, d), nil
 		})
@@ -601,9 +741,60 @@ func (e *Engine) publish(s *State) {
 	}
 }
 
-// finish records the outcome (bounded history) and wakes its waiters.
+// withinDrift reports whether the new matrix is close enough to the previous
+// state's drift anchor — the matrix of the last cold solve in its warm chain
+// — for incremental solving to stay near the fresh optimum (see
+// Config.WarmMaxDrift). The anchor, not the previous epoch, is the baseline:
+// per-epoch drift is always small under a delta workload, but incremental
+// epochs freeze untouched placements, so error compounds with cumulative
+// drift until a cold solve resets it.
+func (e *Engine) withinDrift(d *demand.Demand, prev *State) bool {
+	if e.cfg.WarmMaxDrift < 0 {
+		return true
+	}
+	anchor := prev.Anchor
+	if anchor == nil {
+		anchor = prev.Demand
+	}
+	size := d.Size()
+	if size <= 0 {
+		return false
+	}
+	return demand.L1(d, anchor) <= e.cfg.WarmMaxDrift*size
+}
+
+// warmSeed projects the previous routing into the MWU prior, dropping pairs
+// whose demand changed since: their placement answers the old amount, and the
+// virtual-round anchoring would fight the fresh rounds' ability to re-place
+// the changed flow. Unchanged pairs keep their full prior weight.
+func warmSeed(prev *State, d *demand.Demand) map[demand.Pair]map[string]float64 {
+	w := core.CandidateWeights(prev.Routing)
+	for p := range w {
+		old := prev.Demand.Get(p.U, p.V)
+		cur := d.Get(p.U, p.V)
+		if diff := cur - old; diff > 1e-9 || diff < -1e-9 {
+			delete(w, p)
+		}
+	}
+	return w
+}
+
+// maxCongestion is the maximum relative congestion of the given absolute
+// edge loads on g.
+func maxCongestion(g *graph.Graph, loads []float64) float64 {
+	var mx float64
+	for id, l := range loads {
+		if c := l / g.Edge(id).Capacity; c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+// finish records the outcome (bounded history, Config.OutcomeHistory deep)
+// and wakes its waiters.
 func (e *Engine) finish(out *Outcome) {
-	const keep = 128
+	keep := e.cfg.OutcomeHistory
 	e.mu.Lock()
 	delete(e.pending, out.Epoch)
 	e.outcomes[out.Epoch] = out

@@ -20,6 +20,12 @@ import (
 //	POST /v1/demand        submit a demand epoch (serial.DemandJSON body);
 //	                       ?wait=1 (any strconv boolean) blocks until the
 //	                       epoch resolves; absent or ?wait=0 returns 202
+//	PATCH /v1/demand       submit per-pair deltas against the last submitted
+//	                       matrix: {"set":[{"u":0,"v":3,"amount":2}],
+//	                       "clear":[{"u":1,"v":2}]}. The merged matrix is the
+//	                       next epoch; only the touched pairs are re-solved
+//	                       when the link state still matches (409 before any
+//	                       full submission). Same ?wait contract as POST
 //	GET  /v1/paths         candidate paths + live rates for ?src=&dst=
 //	GET  /v1/routing       the full active routing
 //	POST /v1/links         apply a topology event: {"fail":[ids]},
@@ -49,6 +55,7 @@ type Server struct {
 func NewServer(e *Engine, snapshotPath string) *Server {
 	s := &Server{engine: e, snapshotPath: snapshotPath, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/demand", s.handleDemand)
+	s.mux.HandleFunc("PATCH /v1/demand", s.handlePatchDemand)
 	s.mux.HandleFunc("GET /v1/paths", s.handlePaths)
 	s.mux.HandleFunc("GET /v1/routing", s.handleRouting)
 	s.mux.HandleFunc("POST /v1/links", s.handleLinks)
@@ -77,7 +84,7 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// demandResponse is the POST /v1/demand reply.
+// demandResponse is the POST/PATCH /v1/demand reply.
 type demandResponse struct {
 	Epoch        uint64  `json:"epoch"`
 	Solved       bool    `json:"solved"`
@@ -88,6 +95,26 @@ type demandResponse struct {
 	Retries      int     `json:"retries,omitempty"`
 	Renormalized bool    `json:"renormalized,omitempty"`
 	DroppedPairs int     `json:"dropped_pairs,omitempty"`
+	// Warm tags how the epoch's solve was seeded: "delta", "warm", or
+	// "cold" (see the warm_start trace field). Only present on ?wait=1.
+	Warm         string `json:"warm,omitempty"`
+	TouchedPairs int    `json:"touched_pairs,omitempty"`
+}
+
+func outcomeResponse(out *Outcome) demandResponse {
+	return demandResponse{
+		Epoch:        out.Epoch,
+		Solved:       out.OK,
+		Fallback:     out.Fallback,
+		Err:          out.Err,
+		Congestion:   out.Congestion,
+		LatencyMS:    float64(out.Latency.Microseconds()) / 1000,
+		Retries:      out.Retries,
+		Renormalized: out.Renormalized,
+		DroppedPairs: out.DroppedPairs,
+		Warm:         out.Warm,
+		TouchedPairs: out.TouchedPairs,
+	}
 }
 
 func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
@@ -125,6 +152,12 @@ func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, demandResponse{Epoch: epoch})
 		return
 	}
+	s.waitAndReply(w, r, epoch)
+}
+
+// waitAndReply blocks on the epoch's outcome and writes the full reply (the
+// ?wait=1 tail shared by POST and PATCH /v1/demand).
+func (s *Server) waitAndReply(w http.ResponseWriter, r *http.Request, epoch uint64) {
 	out, err := s.engine.Wait(r.Context(), epoch)
 	if errors.Is(err, ErrUnknownEpoch) {
 		// The outcome was evicted before we could wait on it (possible only
@@ -136,17 +169,63 @@ func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGatewayTimeout, "epoch %d still solving: %v", epoch, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, demandResponse{
-		Epoch:        out.Epoch,
-		Solved:       out.OK,
-		Fallback:     out.Fallback,
-		Err:          out.Err,
-		Congestion:   out.Congestion,
-		LatencyMS:    float64(out.Latency.Microseconds()) / 1000,
-		Retries:      out.Retries,
-		Renormalized: out.Renormalized,
-		DroppedPairs: out.DroppedPairs,
-	})
+	writeJSON(w, http.StatusOK, outcomeResponse(out))
+}
+
+// demandPatchRequest is the PATCH /v1/demand body: per-pair deltas merged
+// into the last submitted matrix.
+type demandPatchRequest struct {
+	// Set assigns d(u,v) = amount for each entry.
+	Set []serial.DemandEntryJSON `json:"set"`
+	// Clear removes the pair from the matrix.
+	Clear []demandPairJSON `json:"clear"`
+}
+
+type demandPairJSON struct {
+	U int `json:"u"`
+	V int `json:"v"`
+}
+
+func (s *Server) handlePatchDemand(w http.ResponseWriter, r *http.Request) {
+	wait := false
+	if wp := r.URL.Query().Get("wait"); wp != "" {
+		var err error
+		wait, err = strconv.ParseBool(wp)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "wait must be a boolean, got %q", wp)
+			return
+		}
+	}
+	var req demandPatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding demand patch: %v", err)
+		return
+	}
+	set := make([]PairAmount, 0, len(req.Set))
+	for _, e := range req.Set {
+		set = append(set, PairAmount{U: e.U, V: e.V, Amount: e.Amount})
+	}
+	clear := make([]PairRef, 0, len(req.Clear))
+	for _, c := range req.Clear {
+		clear = append(clear, PairRef{U: c.U, V: c.V})
+	}
+	epoch, err := s.engine.PatchDemand(set, clear)
+	switch {
+	case errors.Is(err, ErrNoBaseDemand):
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !wait {
+		writeJSON(w, http.StatusAccepted, demandResponse{Epoch: epoch})
+		return
+	}
+	s.waitAndReply(w, r, epoch)
 }
 
 // pathsResponse is the GET /v1/paths reply: every candidate of the pair with

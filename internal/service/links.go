@@ -692,6 +692,17 @@ func (e *Engine) survivorRouter(failed map[int]bool) (oblivious.Router, error) {
 	return oblivious.BuildOnSurvivors("spf", e.cfg.Graph, failed, opt)
 }
 
+// interimAnchor carries the drift anchor and streak through an interim
+// renormalized publish: the renormalization reshapes the previous routing
+// rather than solving fresh, so the chain's anchor survives (and the streak
+// extends) until the follow-up full re-adapt decides cold versus warm.
+func interimAnchor(prev *State, served *demand.Demand) (*demand.Demand, int) {
+	if prev != nil && prev.Anchor != nil {
+		return prev.Anchor, prev.Streak + 1
+	}
+	return served, 0
+}
+
 // reRouteActive re-serves the active demand after a topology event: first an
 // immediate publish of the previous routing renormalized over surviving
 // paths (no solver in the loop, so traffic leaves dead edges right away),
@@ -721,7 +732,7 @@ func (e *Engine) reRouteActive(ls *linkState) {
 	e.pending[interim] = struct{}{}
 	e.nextEpoch++
 	resolve := e.nextEpoch
-	if e.pool.TrySubmit(par.Timed(func(wait time.Duration) { e.solve(resolve, served, wait) })) {
+	if e.pool.TrySubmit(par.Timed(func(wait time.Duration) { e.solve(resolve, epochRequest{d: served}, wait) })) {
 		e.pending[resolve] = struct{}{}
 	} else {
 		e.nextEpoch--
@@ -731,13 +742,21 @@ func (e *Engine) reRouteActive(ls *linkState) {
 
 	start := time.Now()
 	r := renormalizeOverSurvivors(ls, st.Routing, served)
-	cong := r.MaxCongestion(ls.effectiveGraph(e.cfg.Graph))
+	eff := ls.effectiveGraph(e.cfg.Graph)
+	loads := r.EdgeLoads(eff)
+	cong := maxCongestion(eff, loads)
+	anchor, streak := interimAnchor(st, served)
 	e.publish(&State{
-		Epoch:      interim,
-		Demand:     served,
-		Routing:    r,
-		Congestion: cong,
-		SolvedAt:   time.Now(),
+		Epoch:        interim,
+		Demand:       served,
+		Routing:      r,
+		Congestion:   cong,
+		EdgeLoads:    loads,
+		LinkVersion:  ls.version,
+		Anchor:       anchor,
+		Streak:       streak,
+		Renormalized: true,
+		SolvedAt:     time.Now(),
 	})
 	elapsed := msSince(start)
 	e.metrics.renormalizedServes.Add(1)

@@ -41,6 +41,10 @@ type Metrics struct {
 	renormalizedServes expvar.Int // interim renormalized publishes after link events
 	slowSolves         expvar.Int // epochs over Config.SlowSolveThreshold
 
+	patches     expvar.Int // accepted PATCH /v1/demand delta submissions
+	deltaEpochs expvar.Int // epochs solved by the incremental delta fast path
+	warmSolves  expvar.Int // full solves seeded warm from the previous routing
+
 	mu    sync.Mutex
 	lat   *stats.Ring // solve latencies, seconds
 	cong  *stats.Ring // per-epoch congestion
@@ -74,6 +78,9 @@ func newMetrics(e *Engine) *Metrics {
 	m.vars.Set("solve_retries", &m.solveRetries)
 	m.vars.Set("renormalized_serves", &m.renormalizedServes)
 	m.vars.Set("slow_solves", &m.slowSolves)
+	m.vars.Set("demand_patches", &m.patches)
+	m.vars.Set("delta_epochs", &m.deltaEpochs)
+	m.vars.Set("warm_solves", &m.warmSolves)
 	m.vars.Set("failed_edges", expvar.Func(func() any {
 		return len(e.links.Load().failed)
 	}))

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"fmt"
+	"math"
+
+	"sparseroute/internal/demand"
+)
+
+// PairAmount is one per-pair mutation of a demand patch: set d(U,V) = Amount.
+type PairAmount struct {
+	U, V   int
+	Amount float64
+}
+
+// PairRef names one demand pair of a patch's clear list.
+type PairRef struct {
+	U, V int
+}
+
+// PatchDemand merges per-pair deltas into the last submitted matrix and
+// enqueues the result as the next epoch: entries in set are assigned, pairs
+// in clear are removed, every other pair keeps its last-submitted amount.
+// The touched pairs ride along with the epoch so the solver can take the
+// incremental delta path (re-scoring only their paths) when the link state
+// still matches the previous solve.
+//
+// It returns ErrNoBaseDemand before any successful SubmitDemand (a delta
+// needs a base), ErrBusy/ErrClosed like SubmitDemand, and a validation error
+// for self-pairs, out-of-range endpoints, or non-finite amounts — validation
+// happens before anything is merged, so a rejected patch changes nothing.
+func (e *Engine) PatchDemand(set []PairAmount, clear []PairRef) (uint64, error) {
+	if len(set) == 0 && len(clear) == 0 {
+		return 0, fmt.Errorf("service: empty patch (need set or clear entries)")
+	}
+	n := e.cfg.Graph.NumVertices()
+	validate := func(u, v int) error {
+		if u == v {
+			return fmt.Errorf("service: patch pair (%d,%d) has equal endpoints", u, v)
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return fmt.Errorf("service: patch pair (%d,%d) outside graph with %d vertices", u, v, n)
+		}
+		return nil
+	}
+	for _, s := range set {
+		if err := validate(s.U, s.V); err != nil {
+			return 0, err
+		}
+		if s.Amount <= 0 || math.IsNaN(s.Amount) || math.IsInf(s.Amount, 0) {
+			return 0, fmt.Errorf("service: patch pair (%d,%d) needs a positive finite amount, got %v", s.U, s.V, s.Amount)
+		}
+	}
+	for _, c := range clear {
+		if err := validate(c.U, c.V); err != nil {
+			return 0, err
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, ErrClosed
+	}
+	if e.lastSubmitted == nil {
+		return 0, ErrNoBaseDemand
+	}
+	d := e.lastSubmitted.Clone()
+	touchedSet := make(map[demand.Pair]bool, len(set)+len(clear))
+	for _, s := range set {
+		d.Set(s.U, s.V, s.Amount)
+		touchedSet[demand.MakePair(s.U, s.V)] = true
+	}
+	for _, c := range clear {
+		d.Set(c.U, c.V, 0)
+		touchedSet[demand.MakePair(c.U, c.V)] = true
+	}
+	if d.SupportSize() == 0 {
+		return 0, fmt.Errorf("service: patch clears the whole demand")
+	}
+	if !e.links.Load().installed.Covers(d) {
+		return 0, fmt.Errorf("service: patched demand has pairs with no candidate paths")
+	}
+	touched := make([]demand.Pair, 0, len(touchedSet))
+	for p := range touchedSet {
+		touched = append(touched, p)
+	}
+	epoch, err := e.enqueueLocked(epochRequest{d: d, touched: touched})
+	if err != nil {
+		return 0, err
+	}
+	e.lastSubmitted = d
+	e.metrics.patches.Add(1)
+	return epoch, nil
+}

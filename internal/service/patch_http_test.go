@@ -1,0 +1,97 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func patchJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPatch, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	raw, _ := io.ReadAll(resp.Body)
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("bad JSON %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+// TestServerPatchDemandFlow walks the documented PATCH lifecycle: 409 before
+// a base matrix, then a full POST, then a waited PATCH that resolves with a
+// delta-tagged epoch, then a clear.
+func TestServerPatchDemandFlow(t *testing.T) {
+	_, _, ts := testServer(t, Config{Seed: 1}, "")
+
+	code, body := patchJSON(t, ts.URL+"/v1/demand?wait=1", `{"set":[{"u":0,"v":7,"amount":2}]}`)
+	if code != http.StatusConflict {
+		t.Fatalf("patch before base: %d %v, want 409", code, body)
+	}
+
+	code, _ = postJSON(t, ts.URL+"/v1/demand?wait=1", `{"entries":[{"u":0,"v":7,"amount":2},{"u":1,"v":6,"amount":1}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("base POST: %d", code)
+	}
+
+	code, body = patchJSON(t, ts.URL+"/v1/demand?wait=1", `{"set":[{"u":0,"v":7,"amount":2.05}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("patch: %d %v", code, body)
+	}
+	if solved, _ := body["solved"].(bool); !solved {
+		t.Fatalf("patch epoch did not solve: %v", body)
+	}
+	if warm, _ := body["warm"].(string); warm != "delta" {
+		t.Fatalf("patch epoch warm tag %q, want delta", warm)
+	}
+	if tp, _ := body["touched_pairs"].(float64); tp != 1 {
+		t.Fatalf("touched_pairs %v, want 1", body["touched_pairs"])
+	}
+
+	code, body = patchJSON(t, ts.URL+"/v1/demand?wait=1", `{"clear":[{"u":1,"v":6}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("clear patch: %d %v", code, body)
+	}
+}
+
+// TestServerPatchDemandRejects pins the PATCH validation surface: malformed
+// JSON, empty patches, bad endpoints, and bad amounts are 400s; the wait
+// flag must still parse.
+func TestServerPatchDemandRejects(t *testing.T) {
+	_, _, ts := testServer(t, Config{Seed: 1}, "")
+	code, _ := postJSON(t, ts.URL+"/v1/demand?wait=1", `{"entries":[{"u":0,"v":7,"amount":2}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("base POST: %d", code)
+	}
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed", `{`},
+		{"empty", `{}`},
+		{"self pair", `{"set":[{"u":3,"v":3,"amount":1}]}`},
+		{"out of range", `{"set":[{"u":0,"v":99,"amount":1}]}`},
+		{"zero amount", `{"set":[{"u":0,"v":7,"amount":0}]}`},
+		{"negative amount", `{"set":[{"u":0,"v":7,"amount":-1}]}`},
+		{"clear everything", `{"clear":[{"u":0,"v":7}]}`},
+	}
+	for _, tc := range cases {
+		if code, body := patchJSON(t, ts.URL+"/v1/demand", tc.body); code != http.StatusBadRequest {
+			t.Fatalf("%s: %d %v, want 400", tc.name, code, body)
+		}
+	}
+	if code, _ := patchJSON(t, ts.URL+"/v1/demand?wait=maybe", `{"set":[{"u":0,"v":7,"amount":1}]}`); code != http.StatusBadRequest {
+		t.Fatalf("bad wait flag: %d, want 400", code)
+	}
+}

@@ -94,6 +94,35 @@ type Config struct {
 	RecoveryPathCap int
 	// Adapt tunes the rate-adaptation solvers.
 	Adapt *core.AdaptOptions
+	// OutcomeHistory bounds the retained epoch outcomes Wait can still
+	// resolve (older ones are evicted oldest-first). Default 128; raise it on
+	// long-running daemons whose clients wait on epochs submitted long ago.
+	OutcomeHistory int
+	// DisableWarmStart forces every epoch to solve from scratch, disabling
+	// both the MWU warm seed from the previous routing and the incremental
+	// delta fast path. Mostly for benchmarking cold re-solves.
+	DisableWarmStart bool
+	// WarmIterations is the fresh MWU round budget of a warm-started solve
+	// (the prior supplies the rest of the play). Default 64 — a quarter of
+	// the cold default, which is where warm starts buy their latency.
+	WarmIterations int
+	// WarmMaxDrift guards the whole incremental pipeline (delta fast path and
+	// warm seeding) against CUMULATIVE demand drift: an epoch solves
+	// incrementally only while the L1 distance between its matrix and the
+	// matrix of the last cold solve in the warm chain (the drift anchor) is
+	// at most WarmMaxDrift times the new matrix's total demand. Incremental
+	// epochs keep untouched placements frozen, so their quality decays with
+	// drift since the last fresh solve — crossing the guard forces a cold
+	// re-solve that resets the anchor. Default 0.1; negative disables the
+	// guard (always incremental when the link state allows).
+	WarmMaxDrift float64
+	// WarmMaxStreak caps the consecutive incremental epochs (delta or
+	// warm-seeded) a warm chain may run before a cold re-solve re-anchors it.
+	// Each incremental step re-places its touched pairs against a frozen
+	// background, so chain error can grow with length even when the net L1
+	// drift cancels out under WarmMaxDrift. Default 8; negative disables the
+	// cap.
+	WarmMaxStreak int
 	// LatencyWindow is the number of recent solves the latency/congestion
 	// quantiles cover. Default 256.
 	LatencyWindow int
@@ -152,6 +181,18 @@ func (c Config) withDefaults() Config {
 	if c.TraceDepth <= 0 {
 		c.TraceDepth = 64
 	}
+	if c.OutcomeHistory <= 0 {
+		c.OutcomeHistory = 128
+	}
+	if c.WarmIterations <= 0 {
+		c.WarmIterations = 64
+	}
+	if c.WarmMaxDrift == 0 {
+		c.WarmMaxDrift = 0.1
+	}
+	if c.WarmMaxStreak == 0 {
+		c.WarmMaxStreak = 8
+	}
 	if c.JournalDepth <= 0 {
 		c.JournalDepth = 256
 	}
@@ -178,3 +219,7 @@ var ErrUnknownEdge = errors.New("service: unknown edge")
 // ErrBadCapacity is returned by the link-state API for a capacity multiplier
 // that is negative or non-finite.
 var ErrBadCapacity = errors.New("service: bad capacity multiplier")
+
+// ErrNoBaseDemand is returned by PatchDemand when no full demand matrix has
+// been submitted yet: a delta needs a base to apply to (HTTP 409).
+var ErrNoBaseDemand = errors.New("service: no base demand to patch (submit a full matrix first)")
