@@ -68,6 +68,16 @@
 // un-namespaced /v1/* routes alias to --default (or the sole shard).
 // SIGTERM drains by snapshotting every resident shard.
 //
+// Crash durability: with -snapshot set (or -wal given explicitly) every
+// accepted mutation — demand submit, patch, link event — is framed, CRC'd,
+// and fsynced to a write-ahead log before it is applied, and acknowledged
+// only after the flush. On startup the log is replayed over the newest
+// snapshot, so even a kill -9 resumes with the exact pre-crash demand matrix
+// and link state; a torn tail (power loss mid-write) is truncated at the
+// first bad frame and journaled as wal_truncated instead of refusing to
+// start. -checkpoint-every bounds replay work by snapshotting and truncating
+// the log automatically; POST /v1/snapshot and shutdown also checkpoint.
+//
 // A capacity override between 0 and 1 degrades a link without failing it:
 // its candidates keep serving, but rate adaptation and the published
 // congestion run against a capacity-scaled view of the topology, so traffic
@@ -107,6 +117,7 @@ import (
 	"sparseroute/internal/oblivious"
 	"sparseroute/internal/serial"
 	"sparseroute/internal/service"
+	"sparseroute/internal/wal"
 )
 
 type options struct {
@@ -122,6 +133,10 @@ type options struct {
 	queue    int
 	deadline time.Duration
 	snapshot string
+
+	// crash durability
+	wal             string
+	checkpointEvery int
 
 	// observability + retention (long-running daemons size these)
 	debugAddr      string
@@ -156,6 +171,8 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.queue, "queue", 16, "pending epochs before load shedding")
 	fs.DurationVar(&o.deadline, "deadline", 0, "per-epoch solve deadline; on expiry the solve is canceled and the last good routing keeps serving (0 = none)")
 	fs.StringVar(&o.snapshot, "snapshot", "", "snapshot file: restored at startup when present, written by POST /v1/snapshot and at shutdown")
+	fs.StringVar(&o.wal, "wal", "", "write-ahead log: every accepted mutation is fsynced here before it is applied and replayed over the snapshot at startup, so a hard kill loses nothing (default <snapshot>.wal when -snapshot is set; \"off\" disables; fleet mode logs per shard regardless of the path)")
+	fs.IntVar(&o.checkpointEvery, "checkpoint-every", 0, "snapshot + truncate the write-ahead log automatically after this many logged operations (0 = only on snapshot requests and shutdown)")
 	fs.StringVar(&o.debugAddr, "debug-addr", "", "separate listen address for the pprof profiling surface (/debug/pprof/...); empty disables it")
 	fs.DurationVar(&o.slowSolve, "slow-solve", 0, "epochs slower than this (queue wait + solve + publish) emit one structured log line and count in slow_solves (0 = disabled)")
 	fs.Float64Var(&o.headroom, "headroom", 0, "capacity headroom threshold in (0,1): pairs whose every candidate crosses an edge degraded below it are proactively widened around the weak links (0 = disabled)")
@@ -173,9 +190,29 @@ func parseFlags(args []string) (*options, error) {
 	return o, nil
 }
 
+// walPath resolves the -wal flag: an explicit path wins, "off" disables the
+// log, and the empty default derives `<snapshot>.wal` when -snapshot is set
+// (no snapshot and no explicit path means no log — there is nothing durable
+// to extend).
+func walPath(o *options) string {
+	switch {
+	case o.wal == "off":
+		return ""
+	case o.wal != "":
+		return o.wal
+	case o.snapshot != "":
+		return o.snapshot + ".wal"
+	}
+	return ""
+}
+
 // buildEngine restores the engine from o.snapshot when that file exists,
-// otherwise samples a fresh path system from the topology file.
-func buildEngine(o *options) (*service.Engine, bool, error) {
+// otherwise samples a fresh path system from the topology file. When a
+// write-ahead log is configured it is opened first (recovering a torn tail)
+// and replayed over the engine, so the daemon resumes with the exact demand
+// matrix and link state it was killed with. The caller closes the returned
+// log after the engine drains.
+func buildEngine(o *options) (*service.Engine, *wal.Log, bool, error) {
 	cfg := service.Config{
 		R:                  o.r,
 		Seed:               o.seed,
@@ -191,41 +228,81 @@ func buildEngine(o *options) (*service.Engine, bool, error) {
 		DisableWarmStart:   o.noWarm,
 		WarmIterations:     o.warmIters,
 	}
-	if o.snapshot != "" {
-		if f, err := os.Open(o.snapshot); err == nil {
-			defer f.Close()
-			e, err := service.Restore(f, cfg)
-			if err != nil {
-				return nil, false, fmt.Errorf("restoring %s: %w", o.snapshot, err)
-			}
-			return e, true, nil
+	var (
+		log *wal.Log
+		rec *wal.Recovery
+	)
+	if path := walPath(o); path != "" {
+		var err error
+		log, rec, err = wal.Open(path, nil)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("opening wal %s: %w", path, err)
 		}
+		cfg.WAL = log
+		cfg.CheckpointPath = o.snapshot
+		cfg.CheckpointEvery = o.checkpointEvery
 	}
-	f, err := os.Open(o.topo)
+	fail := func(err error) (*service.Engine, *wal.Log, bool, error) {
+		if log != nil {
+			log.Close()
+		}
+		return nil, nil, false, err
+	}
+	build := func() (*service.Engine, bool, error) {
+		if o.snapshot != "" {
+			if f, err := os.Open(o.snapshot); err == nil {
+				defer f.Close()
+				e, err := service.Restore(f, cfg)
+				if err != nil {
+					return nil, false, fmt.Errorf("restoring %s: %w", o.snapshot, err)
+				}
+				return e, true, nil
+			}
+		}
+		f, err := os.Open(o.topo)
+		if err != nil {
+			return nil, false, err
+		}
+		defer f.Close()
+		g, err := serial.DecodeGraph(f)
+		if err != nil {
+			return nil, false, err
+		}
+		router, err := oblivious.Build(o.router, g, &oblivious.BuildOptions{
+			Dim: o.dim, Trees: o.trees, K: o.k, Seed: o.seed,
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		cfg.Graph = g
+		cfg.Router = router
+		e, err := service.New(cfg)
+		return e, false, err
+	}
+	e, restored, err := build()
 	if err != nil {
-		return nil, false, err
+		return fail(err)
 	}
-	defer f.Close()
-	g, err := serial.DecodeGraph(f)
-	if err != nil {
-		return nil, false, err
+	if stats, err := e.ReplayWAL(rec); err != nil {
+		e.Close()
+		return fail(err)
+	} else if rec != nil && (stats.Applied > 0 || stats.Truncated) {
+		fmt.Printf("routed: wal replayed %d ops (%d skipped, truncated=%v)\n",
+			stats.Applied, stats.Skipped, stats.Truncated)
 	}
-	router, err := oblivious.Build(o.router, g, &oblivious.BuildOptions{
-		Dim: o.dim, Trees: o.trees, K: o.k, Seed: o.seed,
-	})
-	if err != nil {
-		return nil, false, err
-	}
-	cfg.Graph = g
-	cfg.Router = router
-	e, err := service.New(cfg)
-	return e, false, err
+	return e, log, restored, nil
 }
 
 // serve runs the HTTP server on l until ctx is canceled, then drains:
 // in-flight solves complete, a final snapshot is written when configured.
 func serve(ctx context.Context, l net.Listener, e *service.Engine, snapshotPath string) error {
-	srv := &http.Server{Handler: service.NewServer(e, snapshotPath)}
+	srv := &http.Server{
+		Handler: service.NewServer(e, snapshotPath),
+		// Slow-header and idle-connection bounds, so stalled clients cannot
+		// pin accept slots on a long-running daemon.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
 	select {
@@ -266,7 +343,11 @@ func debugHandler() http.Handler {
 // after shutdown begins are expected and dropped; a startup failure surfaces
 // on stderr but never takes the serving daemon down with it.
 func serveDebug(ctx context.Context, l net.Listener) {
-	srv := &http.Server{Handler: debugHandler()}
+	srv := &http.Server{
+		Handler:           debugHandler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	go func() {
 		<-ctx.Done()
 		srv.Close()
@@ -280,10 +361,12 @@ func serveDebug(ctx context.Context, l net.Listener) {
 // flags into the per-shard engine template.
 func buildFleet(o *options) (*fleet.Fleet, error) {
 	return fleet.Open(fleet.Config{
-		Dir:          o.fleetDir,
-		DefaultShard: o.defaultShard,
-		MaxResident:  o.resident,
-		Workers:      o.workers,
+		Dir:             o.fleetDir,
+		DefaultShard:    o.defaultShard,
+		MaxResident:     o.resident,
+		Workers:         o.workers,
+		DisableWAL:      o.wal == "off",
+		CheckpointEvery: o.checkpointEvery,
 		Engine: service.Config{
 			R:                  o.r,
 			Seed:               o.seed,
@@ -305,7 +388,11 @@ func buildFleet(o *options) (*fleet.Fleet, error) {
 // serveFleet runs the fleet HTTP server on l until ctx is canceled, then
 // drains: every resident shard snapshots to its <id>.snap and closes.
 func serveFleet(ctx context.Context, l net.Listener, f *fleet.Fleet) error {
-	srv := &http.Server{Handler: fleet.NewServer(f)}
+	srv := &http.Server{
+		Handler:           fleet.NewServer(f),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
 	select {
@@ -359,10 +446,15 @@ func main() {
 		}
 		return
 	}
-	e, restored, err := buildEngine(o)
+	e, walLog, restored, err := buildEngine(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "routed:", err)
 		os.Exit(1)
+	}
+	if walLog != nil {
+		// Closed after serve drains — the shutdown snapshot checkpoints
+		// (truncates + re-seeds) the log through this handle.
+		defer walLog.Close()
 	}
 	st := e.System().Stats()
 	if restored {

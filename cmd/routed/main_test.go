@@ -22,7 +22,7 @@ import (
 // graceful shutdown (drain + final snapshot when configured).
 func startDaemon(t *testing.T, o *options) (string, func()) {
 	t.Helper()
-	e, _, err := buildEngine(o)
+	e, walLog, _, err := buildEngine(o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,6 +38,9 @@ func startDaemon(t *testing.T, o *options) (string, func()) {
 		cancel()
 		select {
 		case err := <-done:
+			if walLog != nil {
+				walLog.Close()
+			}
 			if err != nil {
 				t.Fatalf("serve: %v", err)
 			}
@@ -242,7 +245,7 @@ func TestBuildEngineUnknownRouter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, err = buildEngine(o)
+	_, _, _, err = buildEngine(o)
 	if err == nil {
 		t.Fatal("unknown router accepted")
 	}

@@ -45,6 +45,7 @@ import (
 	"sparseroute/internal/par"
 	"sparseroute/internal/serial"
 	"sparseroute/internal/service"
+	"sparseroute/internal/wal"
 )
 
 // Suffixes of the per-topology files a fleet directory holds. A shard may
@@ -54,6 +55,11 @@ import (
 const (
 	TopoSuffix     = ".topo.json"
 	SnapshotSuffix = ".snap"
+	// WALSuffix names the per-shard write-ahead log, sited next to the
+	// snapshot it extends: `<id>.snap` is the checkpoint, `<id>.wal` the
+	// operations accepted since. Replaying the log over the snapshot on
+	// reload reconstructs the exact pre-crash demand matrix and link state.
+	WALSuffix = ".wal"
 )
 
 // ErrUnknownShard is returned for a topology ID the fleet does not serve.
@@ -80,10 +86,21 @@ type Config struct {
 	// Workers sizes the shared solver pool all shards draw on. Default
 	// GOMAXPROCS.
 	Workers int
+	// DisableWAL turns off per-shard write-ahead logging. By default every
+	// shard logs each accepted mutation to `<id>.wal` before applying it and
+	// replays the log over the newest snapshot when it becomes resident, so
+	// a hard kill between snapshots loses nothing a client was told
+	// succeeded.
+	DisableWAL bool
+	// CheckpointEvery triggers an automatic snapshot + WAL truncation after
+	// that many logged operations per shard. 0 disables automatic
+	// checkpoints (eviction and drain still checkpoint).
+	CheckpointEvery int
 	// Engine is the per-shard engine template: RouterName, R, Seed,
 	// QueueDepth, SolveDeadline, retry policy, and so on. Graph, Router,
-	// System, Pool, FailedEdges, and CapacityOverrides are managed by the
-	// fleet and overwritten per shard. An empty RouterName means "raecke".
+	// System, Pool, FailedEdges, CapacityOverrides, and the WAL fields are
+	// managed by the fleet and overwritten per shard. An empty RouterName
+	// means "raecke".
 	Engine service.Config
 	// Build tunes cold-start router construction (trees, k, dim). The
 	// sampling seed defaults to Engine.Seed.
@@ -121,10 +138,12 @@ type shard struct {
 	id       string
 	topoPath string // "" when only a snapshot exists
 	snapPath string // eviction/drain target; restored from when present
+	walPath  string // per-shard write-ahead log, replayed over the snapshot
 
 	mu     sync.RWMutex
 	engine *service.Engine
 	server *service.Server
+	wal    *wal.Log // engine's log handle; fleet closes it after the engine
 
 	lastUsed atomic.Uint64 // fleet clock at last touch
 }
@@ -147,7 +166,11 @@ func Open(cfg Config) (*Fleet, error) {
 	ensure := func(id string) *shard {
 		sh := shards[id]
 		if sh == nil {
-			sh = &shard{id: id, snapPath: filepath.Join(cfg.Dir, id+SnapshotSuffix)}
+			sh = &shard{
+				id:       id,
+				snapPath: filepath.Join(cfg.Dir, id+SnapshotSuffix),
+				walPath:  filepath.Join(cfg.Dir, id+WALSuffix),
+			}
 			shards[id] = sh
 		}
 		return sh
@@ -304,7 +327,7 @@ func (f *Fleet) makeResident(sh *shard) error {
 	}
 	f.evictForRoom(sh)
 	start := time.Now()
-	engine, restored, err := f.buildEngine(sh)
+	engine, shardWAL, restored, err := f.buildEngine(sh)
 	if err != nil {
 		return fmt.Errorf("fleet: shard %q: %w", sh.id, err)
 	}
@@ -319,7 +342,7 @@ func (f *Fleet) makeResident(sh *shard) error {
 	})
 	server := service.NewServer(engine, sh.snapPath)
 	sh.mu.Lock()
-	sh.engine, sh.server = engine, server
+	sh.engine, sh.server, sh.wal = engine, server, shardWAL
 	sh.mu.Unlock()
 	return nil
 }
@@ -382,7 +405,13 @@ func (f *Fleet) evict(sh *shard) bool {
 		return false
 	}
 	sh.engine.Close()
-	sh.engine, sh.server = nil, nil
+	if sh.wal != nil {
+		// The snapshot checkpointed the log (truncation + demand re-seed),
+		// so closing after the engine loses nothing; the next residency
+		// reopens and replays it.
+		sh.wal.Close()
+	}
+	sh.engine, sh.server, sh.wal = nil, nil, nil
 	f.metrics.evictions.Add(1)
 	f.journal.RecordShard(sh.id, obs.EventEviction, map[string]any{"ok": true})
 	return true
@@ -390,47 +419,69 @@ func (f *Fleet) evict(sh *shard) bool {
 
 // buildEngine constructs sh's engine: restored from its snapshot when one
 // exists (warm — no resampling, identical hash), else sampled from its
-// topology spec (cold). Either way the engine solves on a fresh FairQueue
-// of the shared pool.
-func (f *Fleet) buildEngine(sh *shard) (e *service.Engine, restored bool, err error) {
+// topology spec (cold). Either way the shard's write-ahead log is opened
+// first (recovering a torn tail), threaded into the engine config so every
+// accepted mutation is logged before it is applied, and replayed over the
+// built engine so the shard resumes with its exact pre-crash demand matrix
+// and link state. The engine solves on a fresh FairQueue of the shared pool.
+func (f *Fleet) buildEngine(sh *shard) (e *service.Engine, shardWAL *wal.Log, restored bool, err error) {
 	cfg := f.cfg.Engine
 	depth := cfg.QueueDepth
 	if depth <= 0 {
 		depth = 16
 	}
 	queue := f.pool.Queue(depth)
+	var rec *wal.Recovery
+	if !f.cfg.DisableWAL {
+		shardWAL, rec, err = wal.Open(sh.walPath, nil)
+		if err != nil {
+			queue.Close()
+			return nil, nil, false, fmt.Errorf("opening wal %s: %w", sh.walPath, err)
+		}
+	}
 	defer func() {
 		if err != nil {
 			queue.Close() // unregister the dead queue from the shared pool
+			if shardWAL != nil {
+				shardWAL.Close()
+				shardWAL = nil
+			}
 		}
 	}()
 	cfg.Pool = queue
 	cfg.Graph, cfg.Router, cfg.System = nil, nil, nil
 	cfg.FailedEdges, cfg.CapacityOverrides = nil, nil
+	cfg.WAL, cfg.WALStartSeq = shardWAL, 0
+	cfg.CheckpointPath, cfg.CheckpointEvery = sh.snapPath, f.cfg.CheckpointEvery
 	// Engines record into the fleet journal, tagged by topology ID, so the
 	// event stream survives eviction and rolls up at GET /debug/events.
 	cfg.Journal = f.journal
 	cfg.JournalShard = sh.id
 
-	if fh, err := os.Open(sh.snapPath); err == nil {
+	if fh, openErr := os.Open(sh.snapPath); openErr == nil {
 		defer fh.Close()
-		e, err := service.Restore(fh, cfg)
+		e, err = service.Restore(fh, cfg)
 		if err != nil {
-			return nil, false, fmt.Errorf("restoring %s: %w", sh.snapPath, err)
+			return nil, nil, false, fmt.Errorf("restoring %s: %w", sh.snapPath, err)
 		}
-		return e, true, nil
+		if _, err = e.ReplayWAL(rec); err != nil {
+			e.Close()
+			return nil, nil, false, err
+		}
+		return e, shardWAL, true, nil
 	}
 	if sh.topoPath == "" {
-		return nil, false, fmt.Errorf("no snapshot and no topology spec")
+		err = fmt.Errorf("no snapshot and no topology spec")
+		return nil, nil, false, err
 	}
 	fh, err := os.Open(sh.topoPath)
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
 	defer fh.Close()
 	g, err := serial.DecodeGraph(fh)
 	if err != nil {
-		return nil, false, fmt.Errorf("decoding %s: %w", sh.topoPath, err)
+		return nil, nil, false, fmt.Errorf("decoding %s: %w", sh.topoPath, err)
 	}
 	opt := f.cfg.Build
 	if opt.Seed == 0 {
@@ -438,14 +489,18 @@ func (f *Fleet) buildEngine(sh *shard) (e *service.Engine, restored bool, err er
 	}
 	router, err := oblivious.Build(cfg.RouterName, g, &opt)
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
 	cfg.Graph, cfg.Router = g, router
-	eng, err := service.New(cfg)
+	e, err = service.New(cfg)
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
-	return eng, false, nil
+	if _, err = e.ReplayWAL(rec); err != nil {
+		e.Close()
+		return nil, nil, false, err
+	}
+	return e, shardWAL, false, nil
 }
 
 // Health is the fleet rollup: per-shard status plus the aggregate state
@@ -542,7 +597,10 @@ func (f *Fleet) Close() error {
 				}
 			}
 			sh.engine.Close()
-			sh.engine, sh.server = nil, nil
+			if sh.wal != nil {
+				sh.wal.Close()
+			}
+			sh.engine, sh.server, sh.wal = nil, nil, nil
 			f.journal.RecordShard(sh.id, obs.EventDrain, detail)
 		}
 		sh.mu.Unlock()

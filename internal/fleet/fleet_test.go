@@ -464,3 +464,129 @@ func ctxWithTimeout(t *testing.T) (context.Context, context.CancelFunc) {
 	t.Helper()
 	return context.WithTimeout(context.Background(), 30*time.Second)
 }
+
+// TestFleetWALCrashRecovery: a fleet abandoned without Close (the process
+// was killed) leaves no snapshot — only each shard's write-ahead log. A new
+// fleet over the same directory must rebuild the shard cold and replay the
+// log into the exact pre-crash demand matrix, link state, and path-system
+// hash.
+func TestFleetWALCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	writeTopo(t, dir, "a", gen.Hypercube(3))
+	cfg := Config{
+		Dir: dir,
+		Engine: service.Config{RouterName: "valiant", R: 2, Seed: 11,
+			QueueDepth: 16, DisableWarmStart: true},
+	}
+	f1, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := f1.Engine("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := demand.New()
+	d.Set(0, 7, 2)
+	d.Set(1, 6, 1)
+	if _, err := e1.SubmitDemand(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.FailEdges(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.SetCapacity(5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := e1.SubmitDemand(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := ctxWithTimeout(t)
+	defer cancel()
+	if out, err := e1.Wait(ctx, epoch); err != nil || !out.OK {
+		t.Fatalf("control epoch: %v %+v", err, out)
+	}
+	wantHash := e1.Hash()
+	wantDemand := e1.LastSubmitted()
+	wantLinks := e1.Links()
+	if fi, err := os.Stat(filepath.Join(dir, "a"+WALSuffix)); err != nil || fi.Size() == 0 {
+		t.Fatalf("no per-shard wal written: %v", err)
+	}
+
+	// Crash: f1 is abandoned — no Close, no eviction, no snapshot.
+	f2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := f2.Engine("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.Hash(); got != wantHash {
+		t.Fatalf("recovered hash %016x != control %016x", got, wantHash)
+	}
+	if !demand.Equal(e2.LastSubmitted(), wantDemand, 1e-12) {
+		t.Fatalf("recovered demand %v != control %v", e2.LastSubmitted(), wantDemand)
+	}
+	gotLinks := e2.Links()
+	if gotLinks.Version != wantLinks.Version {
+		t.Fatalf("recovered link version %d != control %d", gotLinks.Version, wantLinks.Version)
+	}
+	if len(gotLinks.FailedEdges) != 1 || gotLinks.FailedEdges[0] != 3 {
+		t.Fatalf("recovered failed edges %v, want [3]", gotLinks.FailedEdges)
+	}
+	if len(gotLinks.DegradedEdges) != 1 || gotLinks.DegradedEdges[0].Edge != 5 ||
+		gotLinks.DegradedEdges[0].Capacity != 0.5 {
+		t.Fatalf("recovered degraded edges %v, want edge 5 @ 0.5", gotLinks.DegradedEdges)
+	}
+	// The recovered shard keeps serving.
+	solveOn(t, f2, "a")
+	f2.Close()
+	f1.Close()
+}
+
+// TestFleetEvictionCheckpointsWAL: eviction snapshots the shard and
+// checkpoints its log, so the reloaded shard replays only operations since
+// the eviction — and still lands on the identical state.
+func TestFleetEvictionCheckpointsWAL(t *testing.T) {
+	f := testFleet(t, []string{"a", "b"}, func(c *Config) {
+		c.MaxResident = 1
+		c.Engine.DisableWarmStart = true
+	})
+	e, err := f.Engine("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := demand.New()
+	d.Set(0, 7, 2)
+	if _, err := e.SubmitDemand(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.FailEdges(2); err != nil {
+		t.Fatal(err)
+	}
+	wantHash := e.Hash()
+
+	// Touch b: a is evicted (snapshot + checkpoint), its wal truncated down
+	// to the re-seeded demand record.
+	if _, err := f.Engine("b"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reload a: warm restore + replay of the post-checkpoint log.
+	e2, err := f.Engine("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.Hash(); got != wantHash {
+		t.Fatalf("reloaded hash %016x != pre-eviction %016x", got, wantHash)
+	}
+	if !demand.Equal(e2.LastSubmitted(), d, 1e-12) {
+		t.Fatalf("reloaded demand %v, want %v", e2.LastSubmitted(), d)
+	}
+	if got := e2.Links(); len(got.FailedEdges) != 1 || got.FailedEdges[0] != 2 {
+		t.Fatalf("reloaded failed edges %v, want [2]", got.FailedEdges)
+	}
+	solveOn(t, f, "a")
+}

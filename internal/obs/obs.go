@@ -59,6 +59,15 @@ const (
 	EventReload = "reload"
 	// EventDrain is a fleet drain (Close) start.
 	EventDrain = "drain"
+	// EventWALTruncated is a torn WAL tail dropped at startup: the log was
+	// cut back to its last intact frame and serving continued.
+	EventWALTruncated = "wal_truncated"
+	// EventWALReplay is a completed WAL replay: the engine reconstructed its
+	// pre-crash demand matrix and link state from the log.
+	EventWALReplay = "wal_replay"
+	// EventCheckpoint is a durable checkpoint: snapshot written, WAL
+	// truncated.
+	EventCheckpoint = "checkpoint"
 )
 
 // Journal is a bounded, concurrency-safe, time-ordered ring of Events. One

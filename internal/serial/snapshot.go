@@ -16,9 +16,12 @@ import (
 // reject snapshots written by a newer format. Version 2 added the
 // failed-edge set; version 3 added the partial-capacity overrides of the
 // degraded-but-alive edges, so an engine snapshotted mid-drill restores
-// straight into the same capacity-degraded link state (v1 and v2 snapshots
-// still decode, with no failures / no overrides respectively).
-const SnapshotVersion = 3
+// straight into the same capacity-degraded link state; version 4 added the
+// write-ahead-log watermark (WALSeq) and the link-state version counter, so
+// replaying a WAL over the snapshot skips already-checkpointed records and
+// recovery resampling reproduces the exact pre-crash seeds (v1–v3 snapshots
+// still decode, with the new fields zero).
+const SnapshotVersion = 4
 
 // Snapshot bundles everything the online routing service needs to restart
 // without redoing the offline phase: the topology, the sampled path system,
@@ -47,6 +50,15 @@ type Snapshot struct {
 	// multiplier, strictly inside (0,1) (v3; empty for v1/v2). Failed edges
 	// live in FailedEdges, never here.
 	Capacities map[int]float64
+	// WALSeq is the write-ahead-log operation sequence number this snapshot
+	// covers: every logged operation with Seq <= WALSeq is already reflected
+	// in the snapshot, so replay skips it (v4; 0 for older snapshots).
+	WALSeq uint64
+	// LinkVersion is the engine's link-state version counter at snapshot
+	// time. Restoring it keeps recovery-resample seeds (salted by version)
+	// identical between a recovered engine and one that never restarted
+	// (v4; 0 for older snapshots, meaning "start fresh at 1").
+	LinkVersion uint64
 }
 
 // EdgeCapacityJSON is one degraded edge on the wire.
@@ -65,6 +77,8 @@ type SnapshotJSON struct {
 	System   PathSystemJSON     `json:"system"`
 	Failed   []int              `json:"failed_edges,omitempty"`
 	Degraded []EdgeCapacityJSON `json:"degraded_edges,omitempty"`
+	WALSeq   uint64             `json:"wal_seq,omitempty"`
+	LinkVer  uint64             `json:"link_version,omitempty"`
 }
 
 // EncodeSnapshot writes s as JSON.
@@ -107,6 +121,8 @@ func EncodeSnapshot(w io.Writer, s *Snapshot) error {
 		System:   PathSystemToJSON(s.System),
 		Failed:   failed,
 		Degraded: degraded,
+		WALSeq:   s.WALSeq,
+		LinkVer:  s.LinkVersion,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -158,7 +174,8 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 		}
 	}
 	return &Snapshot{Router: in.Router, R: in.R, Seed: in.Seed, Graph: g, System: ps,
-		FailedEdges: in.Failed, Capacities: caps}, nil
+		FailedEdges: in.Failed, Capacities: caps,
+		WALSeq: in.WALSeq, LinkVersion: in.LinkVer}, nil
 }
 
 // PathSystemHash returns a deterministic FNV-1a digest of the system's

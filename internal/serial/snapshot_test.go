@@ -158,7 +158,7 @@ func TestSnapshotFailedEdgesRoundTrip(t *testing.T) {
 	}
 
 	// A v1 document (version field 1, no failed_edges) still decodes.
-	v1 := strings.Replace(clean.String(), `"version": 3`, `"version": 1`, 1)
+	v1 := strings.Replace(clean.String(), `"version": 4`, `"version": 1`, 1)
 	if v1 == clean.String() {
 		t.Fatal("version field not found for v1 rewrite")
 	}
@@ -359,12 +359,55 @@ func TestSnapshotCrossVersionDecode(t *testing.T) {
 		t.Fatalf("v2 snapshot state: failed=%v caps=%v, want failed=[4] only", mid.FailedEdges, mid.Capacities)
 	}
 
-	// The full v3 document round-trips all of it.
+	// The full current-version document round-trips all of it.
 	cur, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if PathSystemHash(cur.System) != want || len(cur.FailedEdges) != 1 || cur.Capacities[7] != 0.5 {
-		t.Fatalf("v3 decode state: failed=%v caps=%v", cur.FailedEdges, cur.Capacities)
+		t.Fatalf("current decode state: failed=%v caps=%v", cur.FailedEdges, cur.Capacities)
+	}
+}
+
+// TestSnapshotWALWatermarkRoundTrip covers the v4 additions: the WAL
+// sequence watermark and link-state version survive the round trip, are
+// omitted from the document when zero, and decode to zero from pre-v4
+// documents that never carried them.
+func TestSnapshotWALWatermarkRoundTrip(t *testing.T) {
+	g := gen.Hypercube(3)
+	router := oblivious.NewSPF(g)
+	ps, err := core.RSample(router, core.AllPairs(g.NumVertices()), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, &Snapshot{Router: "spf", R: 2, Seed: 3, Graph: g, System: ps,
+		WALSeq: 42, LinkVersion: 7}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WALSeq != 42 || got.LinkVersion != 7 {
+		t.Fatalf("decoded WALSeq=%d LinkVersion=%d, want 42/7", got.WALSeq, got.LinkVersion)
+	}
+
+	// Zero watermark omits both keys (canonical form, and what pre-v4
+	// writers produced).
+	var clean bytes.Buffer
+	if err := EncodeSnapshot(&clean, &Snapshot{Router: "spf", R: 2, Seed: 3, Graph: g, System: ps}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.String(), "wal_seq") || strings.Contains(clean.String(), "link_version") {
+		t.Fatal("zero WAL watermark should be omitted from the document")
+	}
+	old, err := DecodeSnapshot(strings.NewReader(
+		strings.Replace(clean.String(), `"version": 4`, `"version": 3`, 1)))
+	if err != nil {
+		t.Fatalf("v3 decode: %v", err)
+	}
+	if old.WALSeq != 0 || old.LinkVersion != 0 {
+		t.Fatalf("pre-v4 snapshot decoded WALSeq=%d LinkVersion=%d, want 0/0", old.WALSeq, old.LinkVersion)
 	}
 }

@@ -178,6 +178,19 @@ type Engine struct {
 	degradedAccum time.Duration
 	degradedSince time.Time
 
+	// WAL state. walMu is a leaf lock (taken under e.mu or linkMu, never
+	// around them) held only across seq-assign + append so the demand and
+	// link paths interleave into one ordered log; the fsync runs outside it
+	// (see commitOp). opSeq is the engine-wide operation sequence number,
+	// monotonic across restarts (resumed from the snapshot watermark plus
+	// replayed records). replaying suppresses re-logging while ReplayWAL
+	// re-applies operations that are already on disk.
+	walMu         sync.Mutex
+	opSeq         atomic.Uint64
+	replaying     atomic.Bool
+	walOpsSince   atomic.Int64 // ops logged since the last checkpoint
+	checkpointing atomic.Bool  // single-flights async checkpoints
+
 	mu          sync.Mutex
 	nextEpoch   uint64
 	outcomes    map[uint64]*Outcome
@@ -261,8 +274,13 @@ func New(cfg Config) (*Engine, error) {
 		}
 		capacity[id] = c
 	}
+	e.opSeq.Store(cfg.WALStartSeq)
+	version := cfg.LinkVersion
+	if version == 0 {
+		version = 1
+	}
 	ls := &linkState{
-		version:   1,
+		version:   version,
 		capacity:  capacity,
 		installed: system,
 		serving:   system,
@@ -312,6 +330,8 @@ func Restore(r io.Reader, cfg Config) (*Engine, error) {
 	cfg.Seed = snap.Seed
 	cfg.FailedEdges = snap.FailedEdges
 	cfg.CapacityOverrides = snap.Capacities
+	cfg.WALStartSeq = snap.WALSeq
+	cfg.LinkVersion = snap.LinkVersion
 	return New(cfg)
 }
 
@@ -399,11 +419,20 @@ func (e *Engine) SubmitDemand(d *demand.Demand) (uint64, error) {
 	if e.closed {
 		return 0, ErrClosed
 	}
-	epoch, err := e.enqueueLocked(epochRequest{d: d})
+	// Log before apply: the submission must be durable before the client can
+	// be told it was accepted. A shed epoch (ErrBusy) is compensated with a
+	// revoke record so replay does not resurrect an op the client saw fail.
+	seq, err := e.commitOp(&walOp{Op: walOpSubmit, Entries: demandAmounts(d)})
 	if err != nil {
 		return 0, err
 	}
+	epoch, err := e.enqueueLocked(epochRequest{d: d})
+	if err != nil {
+		e.revokeOp(seq)
+		return 0, err
+	}
 	e.lastSubmitted = d.Clone()
+	e.maybeCheckpoint()
 	return epoch, nil
 }
 
@@ -462,6 +491,28 @@ func (e *Engine) solve(epoch uint64, req epochRequest, queueWait time.Duration) 
 	tr := &obs.EpochTrace{Epoch: epoch, Start: start, QueueWaitMs: ms(queueWait)}
 	mon := &solveMonitor{epoch: epoch, tracer: e.tracer}
 	defer e.tracer.ClearProgress(epoch)
+	// Worker-level panic backstop: the per-stage barriers in the retry chain
+	// convert solver panics to errors, but a panic in the accounting around
+	// them must not unwind the pool worker either — in a fleet that would
+	// take down every tenant. The epoch falls back (its waiters are woken
+	// with the failure) and the stale routing keeps serving.
+	finished := false
+	defer func() {
+		if p := recover(); p != nil {
+			e.metrics.solvePanics.Add(1)
+			e.record(obs.EventSolveFailure, map[string]any{
+				"epoch": epoch, "stage": "worker", "panic": fmt.Sprint(p),
+			})
+			if !finished {
+				e.metrics.fallbacks.Add(1)
+				e.finish(&Outcome{
+					Epoch: epoch, Fallback: true,
+					Err:     fmt.Sprintf("solver panic: %v", p),
+					Latency: time.Since(start),
+				})
+			}
+		}
+	}()
 	e.metrics.observeQueueWait(queueWait)
 
 	ctx := e.rootCtx
@@ -506,7 +557,18 @@ func (e *Engine) solve(epoch uint64, req epochRequest, queueWait time.Duration) 
 		t0 := time.Now()
 		opts := instrumented(e.cfg.Adapt, mon)
 		opts.MWU.Iterations = e.cfg.WarmIterations
-		res, derr := ls.adaptive.AdaptDeltaCtx(ctx, prev.Routing, prev.EdgeLoads, served, req.touched, opts)
+		res, derr := func() (res *core.DeltaResult, derr error) {
+			defer func() {
+				if p := recover(); p != nil {
+					e.metrics.solvePanics.Add(1)
+					e.record(obs.EventSolveFailure, map[string]any{
+						"epoch": epoch, "stage": "delta", "panic": fmt.Sprint(p),
+					})
+					res, derr = nil, fmt.Errorf("service: solver panic in delta: %v", p)
+				}
+			}()
+			return ls.adaptive.AdaptDeltaCtx(ctx, prev.Routing, prev.EdgeLoads, served, req.touched, opts)
+		}()
 		a := obs.Attempt{Stage: "delta", Ms: msSince(t0), OK: derr == nil}
 		if derr != nil {
 			a.Err = derr.Error()
@@ -603,6 +665,7 @@ func (e *Engine) solve(epoch uint64, req epochRequest, queueWait time.Duration) 
 		e.metrics.slowSolves.Add(1)
 	}
 	e.finish(out)
+	finished = true
 }
 
 // adaptWithRetry is the bounded retry chain around one epoch's adaptation:
@@ -628,7 +691,7 @@ func (e *Engine) solve(epoch uint64, req epochRequest, queueWait time.Duration) 
 func (e *Engine) adaptWithRetry(ctx context.Context, ls *linkState, d *demand.Demand, out *Outcome, tr *obs.EpochTrace, mon *solveMonitor, opts *core.AdaptOptions) (flow.Routing, error) {
 	attempt := func(stage string, f func() (flow.Routing, error)) (flow.Routing, error) {
 		t0 := time.Now()
-		r, err := f()
+		r, err := e.recovered(stage, tr.Epoch, f)
 		a := obs.Attempt{Stage: stage, Ms: msSince(t0), OK: err == nil}
 		if err != nil {
 			a.Err = err.Error()
@@ -686,6 +749,26 @@ func (e *Engine) adaptWithRetry(ctx context.Context, ls *linkState, d *demand.De
 		})
 	}
 	return nil, firstErr
+}
+
+// recovered runs one solve stage with a panic barrier: a panicking solver
+// callback (a buggy mcf.Options.Progress hook, a pathological numeric state)
+// becomes a stage error that falls through the normal retry chain instead of
+// unwinding the pool worker and killing the whole (possibly multi-tenant)
+// process. The panic is counted in solve_panics and journaled as a
+// solve_failure event with its stage, so the fleet operator sees it even
+// when a later retry stage rescues the epoch.
+func (e *Engine) recovered(stage string, epoch uint64, f func() (flow.Routing, error)) (r flow.Routing, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.metrics.solvePanics.Add(1)
+			e.record(obs.EventSolveFailure, map[string]any{
+				"epoch": epoch, "stage": stage, "panic": fmt.Sprint(p),
+			})
+			r, err = nil, fmt.Errorf("service: solver panic in %s: %v", stage, p)
+		}
+	}()
+	return f()
 }
 
 // maxRetryBackoff caps one backoff sleep regardless of the configured base
@@ -826,6 +909,8 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 		System:      ls.installed,
 		FailedEdges: ls.failedSorted(),
 		Capacities:  ls.fractionalOverrides(),
+		WALSeq:      e.opSeq.Load(),
+		LinkVersion: ls.version,
 	})
 }
 

@@ -488,15 +488,39 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 // SnapshotToFile atomically writes the engine's snapshot to path (temp file
-// + rename), returning the byte count. On any error after the temp file is
-// created — write, stat, close, or rename — the temp file is removed so
-// failed snapshots never litter the directory.
+// + fsync + rename + directory fsync), returning the byte count. On any
+// error after the temp file is created — write, sync, stat, close, or rename
+// — the temp file is removed so failed snapshots never litter the directory.
+//
+// When the engine has a WAL, this is the checkpoint operation: the snapshot
+// and the log truncation happen under linkMu and e.mu (blocking every
+// mutation path), so the snapshot's WAL watermark is exact and no operation
+// can land between the snapshot and the truncation and be lost.
 func (e *Engine) SnapshotToFile(path string) (int64, error) {
-	return writeFileAtomic(path, e.WriteSnapshot)
+	e.linkMu.Lock()
+	defer e.linkMu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n, err := writeFileAtomic(path, e.WriteSnapshot)
+	if err != nil {
+		return 0, err
+	}
+	if err := e.resetWALLocked(); err != nil {
+		return n, err
+	}
+	return n, nil
 }
 
+// fsyncFile is the file-durability seam writeFileAtomic flushes through;
+// tests substitute a failing implementation to drive the error paths.
+var fsyncFile = func(f *os.File) error { return f.Sync() }
+
 // writeFileAtomic writes via a temp file in path's directory and renames it
-// into place, removing the temp file on every failure path.
+// into place, removing the temp file on every failure path. The temp file is
+// fsynced before the rename and the directory after it: without the first, a
+// crash shortly after "success" can surface an empty or partial file behind
+// the new name; without the second, the rename itself may not survive — the
+// old directory entry comes back and the snapshot silently time-travels.
 func writeFileAtomic(path string, write func(io.Writer) error) (n int64, err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".snapshot-*")
@@ -514,6 +538,10 @@ func writeFileAtomic(path string, write func(io.Writer) error) (n int64, err err
 		tmp.Close()
 		return 0, err
 	}
+	if err := fsyncFile(tmp); err != nil {
+		tmp.Close()
+		return 0, err
+	}
 	info, err := tmp.Stat()
 	if err != nil {
 		tmp.Close()
@@ -526,5 +554,12 @@ func writeFileAtomic(path string, write func(io.Writer) error) (n int64, err err
 		return 0, err
 	}
 	renamed = true
+	if d, err := os.Open(dir); err == nil {
+		syncErr := fsyncFile(d)
+		d.Close()
+		if syncErr != nil {
+			return info.Size(), syncErr
+		}
+	}
 	return info.Size(), nil
 }

@@ -280,6 +280,17 @@ func (e *Engine) applyLinkEvent(fail, restore []int, degrade map[int]float64, re
 		}, nil
 	}
 
+	// Log before apply: the event is durable before any derived state is
+	// built or published. Logged after the no-op check so replay sees
+	// exactly the version-bumping events — replayed versions (and the
+	// version-salted recovery seeds hanging off them) then match the
+	// original run one for one.
+	if _, err := e.commitOp(&walOp{
+		Op: walOpLinks, Fail: fail, Restore: restore, Replace: replace, Caps: capsOf(degrade),
+	}); err != nil {
+		return nil, err
+	}
+
 	next := &linkState{
 		version:   cur.version + 1,
 		capacity:  capacity,
@@ -349,6 +360,7 @@ func (e *Engine) applyLinkEvent(fail, restore []int, degrade map[int]float64, re
 	// publish so the interim renormalization and the re-adapt epoch both see
 	// the new link state.
 	e.reRouteActive(next)
+	e.maybeCheckpoint()
 	return update, nil
 }
 

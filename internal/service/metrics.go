@@ -45,6 +45,11 @@ type Metrics struct {
 	deltaEpochs expvar.Int // epochs solved by the incremental delta fast path
 	warmSolves  expvar.Int // full solves seeded warm from the previous routing
 
+	walReplays     expvar.Int // completed WAL replays (startup recovery)
+	walTruncations expvar.Int // torn WAL tails dropped at startup
+	checkpoints    expvar.Int // snapshot + WAL truncation checkpoints
+	solvePanics    expvar.Int // solver panics recovered in the epoch worker
+
 	mu    sync.Mutex
 	lat   *stats.Ring // solve latencies, seconds
 	cong  *stats.Ring // per-epoch congestion
@@ -81,6 +86,22 @@ func newMetrics(e *Engine) *Metrics {
 	m.vars.Set("demand_patches", &m.patches)
 	m.vars.Set("delta_epochs", &m.deltaEpochs)
 	m.vars.Set("warm_solves", &m.warmSolves)
+	m.vars.Set("wal_replays", &m.walReplays)
+	m.vars.Set("wal_truncations", &m.walTruncations)
+	m.vars.Set("checkpoints", &m.checkpoints)
+	m.vars.Set("solve_panics", &m.solvePanics)
+	m.vars.Set("wal_records", expvar.Func(func() any {
+		if w := e.cfg.WAL; w != nil {
+			return w.Records()
+		}
+		return 0
+	}))
+	m.vars.Set("wal_bytes", expvar.Func(func() any {
+		if w := e.cfg.WAL; w != nil {
+			return w.Bytes()
+		}
+		return 0
+	}))
 	m.vars.Set("failed_edges", expvar.Func(func() any {
 		return len(e.links.Load().failed)
 	}))

@@ -85,11 +85,26 @@ func (e *Engine) PatchDemand(set []PairAmount, clear []PairRef) (uint64, error) 
 	for p := range touchedSet {
 		touched = append(touched, p)
 	}
+	// Log before apply (see SubmitDemand). The record carries the absolute
+	// amounts, so replaying it over the same base is idempotent.
+	op := &walOp{Op: walOpPatch}
+	for _, s := range set {
+		op.Set = append(op.Set, walAmount{U: s.U, V: s.V, Amount: s.Amount})
+	}
+	for _, c := range clear {
+		op.Clear = append(op.Clear, walPair{U: c.U, V: c.V})
+	}
+	seq, err := e.commitOp(op)
+	if err != nil {
+		return 0, err
+	}
 	epoch, err := e.enqueueLocked(epochRequest{d: d, touched: touched})
 	if err != nil {
+		e.revokeOp(seq)
 		return 0, err
 	}
 	e.lastSubmitted = d
 	e.metrics.patches.Add(1)
+	e.maybeCheckpoint()
 	return epoch, nil
 }

@@ -27,6 +27,7 @@ import (
 	"sparseroute/internal/oblivious"
 	"sparseroute/internal/obs"
 	"sparseroute/internal/par"
+	"sparseroute/internal/wal"
 )
 
 // Config parameterizes an Engine.
@@ -144,6 +145,30 @@ type Config struct {
 	// JournalShard tags this engine's journal entries (the fleet's topology
 	// ID). Empty for a standalone engine.
 	JournalShard string
+	// WAL, when non-nil, is the engine's write-ahead state log: every
+	// accepted mutation (demand submit, patch, link/capacity event) is
+	// appended and fsynced before it is applied, so a crash between
+	// snapshots loses nothing a client was acknowledged for. The caller
+	// owns the log's lifecycle (the engine never closes it); pair with
+	// WALStartSeq when the engine restores from a snapshot the log
+	// predates. See Engine.ReplayWAL for recovery.
+	WAL *wal.Log
+	// WALStartSeq is the snapshot's operation watermark (serial.Snapshot
+	// WALSeq): WAL records with Seq <= WALStartSeq are already reflected in
+	// the restored state and replay skips them. Set by Restore.
+	WALStartSeq uint64
+	// LinkVersion seeds the engine's link-state version counter (0 means
+	// start fresh at 1). Set by Restore from the snapshot so replayed link
+	// events continue the original version sequence — recovery-resample
+	// seeds are version-salted, so this is what makes a recovered engine's
+	// path-system hash match one that never crashed.
+	LinkVersion uint64
+	// CheckpointEvery, when positive and CheckpointPath is set, triggers an
+	// automatic checkpoint (snapshot + WAL truncation) after that many
+	// logged operations, bounding both replay time and log growth.
+	CheckpointEvery int
+	// CheckpointPath is where automatic checkpoints write their snapshot.
+	CheckpointPath string
 	// AtRiskHeadroom, when positive, extends the at-risk pair set beyond
 	// failure-squeezed pairs: a pair whose best surviving candidate still
 	// crosses an edge with capacity multiplier below this threshold is

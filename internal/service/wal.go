@@ -1,0 +1,418 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"sparseroute/internal/demand"
+	"sparseroute/internal/obs"
+	"sparseroute/internal/wal"
+)
+
+// The engine's write-ahead log makes every accepted state mutation — demand
+// SUBMIT, PATCH set/clear deltas, link fail/restore, capacity overrides —
+// durable before it is applied: the operation is framed into Config.WAL and
+// fsynced, and only then acknowledged. A SIGKILL between snapshots therefore
+// loses nothing a client was told succeeded; on restart ReplayWAL applies the
+// logged operations on top of the newest snapshot and the engine re-solves
+// into its exact pre-crash demand matrix and link state.
+//
+// Every operation is an idempotent state *setter* (SUBMIT replaces the whole
+// matrix, PATCH assigns absolute amounts, link events set capacities), so
+// log-before-apply needs no undo machinery: replaying a record whose apply
+// never finished just sets the state the client was promised. The one
+// exception is an op logged and then shed by back-pressure (ErrBusy) — the
+// client saw a failure, so a compensating "revoke" record is appended and
+// replay drops the revoked operation.
+
+// WAL operation kinds.
+const (
+	walOpSubmit = "submit"
+	walOpPatch  = "patch"
+	walOpLinks  = "links"
+	walOpRevoke = "revoke"
+)
+
+// walAmount is one (pair, amount) assignment on the wire.
+type walAmount struct {
+	U      int     `json:"u"`
+	V      int     `json:"v"`
+	Amount float64 `json:"amount"`
+}
+
+// walPair names one demand pair (a PATCH clear entry).
+type walPair struct {
+	U int `json:"u"`
+	V int `json:"v"`
+}
+
+// walCap is one capacity override of a link event.
+type walCap struct {
+	Edge     int     `json:"edge"`
+	Capacity float64 `json:"capacity"`
+}
+
+// walOp is one logged state mutation. Seq is the engine-wide operation
+// sequence number — monotonic across the engine's whole history, recorded in
+// snapshots as the checkpoint watermark so replay can skip records the
+// snapshot already covers.
+type walOp struct {
+	Seq uint64 `json:"seq"`
+	Op  string `json:"op"`
+	// Entries is a SUBMIT's full demand matrix.
+	Entries []walAmount `json:"entries,omitempty"`
+	// Set/Clear are a PATCH's deltas (absolute amounts, so replay is
+	// idempotent).
+	Set   []walAmount `json:"set,omitempty"`
+	Clear []walPair   `json:"clear,omitempty"`
+	// Fail/Restore/Replace/Caps mirror applyLinkEvent's inputs.
+	Fail    []int    `json:"fail,omitempty"`
+	Restore []int    `json:"restore,omitempty"`
+	Replace bool     `json:"replace,omitempty"`
+	Caps    []walCap `json:"caps,omitempty"`
+	// Ref is the sequence number a REVOKE cancels.
+	Ref uint64 `json:"ref,omitempty"`
+}
+
+// demandAmounts flattens a matrix into sorted (pair, amount) entries —
+// deterministic record bytes for identical matrices.
+func demandAmounts(d *demand.Demand) []walAmount {
+	support := d.Support()
+	sort.Slice(support, func(i, j int) bool {
+		if support[i].U != support[j].U {
+			return support[i].U < support[j].U
+		}
+		return support[i].V < support[j].V
+	})
+	out := make([]walAmount, 0, len(support))
+	for _, p := range support {
+		out = append(out, walAmount{U: p.U, V: p.V, Amount: d.Get(p.U, p.V)})
+	}
+	return out
+}
+
+// capsOf flattens a capacity-override map into sorted entries.
+func capsOf(degrade map[int]float64) []walCap {
+	if len(degrade) == 0 {
+		return nil
+	}
+	out := make([]walCap, 0, len(degrade))
+	for id, c := range degrade {
+		out = append(out, walCap{Edge: id, Capacity: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Edge < out[j].Edge })
+	return out
+}
+
+// commitOp assigns op the next operation sequence number, appends it to the
+// WAL, and fsyncs (group-committed with concurrent writers). It returns the
+// assigned sequence number, or 0 when no WAL is configured or a replay is in
+// progress (replayed operations are already on disk). A commit failure means
+// the operation has no durability — callers reject it rather than apply
+// something a crash would silently forget.
+//
+// Lock order: callers hold e.mu (demand path) or e.linkMu (link path); walMu
+// is a leaf below both and is held only across seq-assign + append so the
+// two paths interleave correctly. The fsync runs outside walMu, letting the
+// log batch concurrent committers into one flush.
+func (e *Engine) commitOp(op *walOp) (uint64, error) {
+	w := e.cfg.WAL
+	if w == nil || e.replaying.Load() {
+		return 0, nil
+	}
+	e.walMu.Lock()
+	seq := e.opSeq.Add(1)
+	op.Seq = seq
+	buf, err := json.Marshal(op)
+	if err == nil {
+		err = w.Append(buf)
+	}
+	e.walMu.Unlock()
+	if err != nil {
+		return 0, fmt.Errorf("service: wal commit: %w", err)
+	}
+	if err := w.Sync(); err != nil {
+		return 0, fmt.Errorf("service: wal commit: %w", err)
+	}
+	e.walOpsSince.Add(1)
+	return seq, nil
+}
+
+// revokeOp appends a compensating record for a logged operation the engine
+// then rejected (back-pressure shedding after the log write). Best-effort: if
+// the revoke itself cannot be written, replay applies the shed operation —
+// an idempotent setter the client may retry anyway, never a corruption.
+func (e *Engine) revokeOp(seq uint64) {
+	w := e.cfg.WAL
+	if w == nil || seq == 0 {
+		return
+	}
+	e.walMu.Lock()
+	buf, err := json.Marshal(&walOp{Seq: e.opSeq.Add(1), Op: walOpRevoke, Ref: seq})
+	if err == nil {
+		err = w.Append(buf)
+	}
+	e.walMu.Unlock()
+	if err == nil {
+		w.Sync()
+	}
+}
+
+// maybeCheckpoint triggers an async snapshot + WAL truncation once
+// CheckpointEvery operations have accumulated since the last checkpoint. The
+// snapshot runs on its own goroutine (SnapshotToFile takes linkMu and e.mu;
+// callers of maybeCheckpoint hold one of them), single-flighted by the
+// checkpointing flag.
+func (e *Engine) maybeCheckpoint() {
+	n := e.cfg.CheckpointEvery
+	if n <= 0 || e.cfg.CheckpointPath == "" || e.cfg.WAL == nil {
+		return
+	}
+	if e.walOpsSince.Load() < int64(n) {
+		return
+	}
+	if !e.checkpointing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer e.checkpointing.Store(false)
+		if _, err := e.SnapshotToFile(e.cfg.CheckpointPath); err != nil {
+			e.record(obs.EventSolveFailure, map[string]any{
+				"err": fmt.Sprintf("checkpoint: %v", err),
+			})
+		}
+	}()
+}
+
+// resetWALLocked truncates the WAL after a successful snapshot write — the
+// checkpoint operation. Snapshots carry the topology, path system, and link
+// state but NOT the demand matrix; the log stays the matrix's durability
+// home, so the freshly truncated log is immediately re-seeded with one
+// submit record of the current matrix (sequence number past the snapshot's
+// watermark, so replay applies it). Callers hold linkMu and e.mu, which
+// blocks every mutation path — the snapshot, the truncation, and the
+// re-seed are one atomic cut of the engine's history.
+func (e *Engine) resetWALLocked() error {
+	w := e.cfg.WAL
+	if w == nil || e.replaying.Load() {
+		return nil
+	}
+	if err := w.Reset(); err != nil {
+		return fmt.Errorf("service: checkpoint truncating wal: %w", err)
+	}
+	e.walOpsSince.Store(0)
+	if e.lastSubmitted != nil {
+		e.walMu.Lock()
+		buf, err := json.Marshal(&walOp{
+			Seq: e.opSeq.Add(1), Op: walOpSubmit, Entries: demandAmounts(e.lastSubmitted),
+		})
+		if err == nil {
+			err = w.Append(buf)
+		}
+		e.walMu.Unlock()
+		if err == nil {
+			err = w.Sync()
+		}
+		if err != nil {
+			return fmt.Errorf("service: checkpoint re-seeding demand: %w", err)
+		}
+	}
+	e.metrics.checkpoints.Add(1)
+	e.record(obs.EventCheckpoint, map[string]any{
+		"wal_seq":      e.opSeq.Load(),
+		"link_version": e.links.Load().version,
+	})
+	return nil
+}
+
+// ReplayStats reports what ReplayWAL did.
+type ReplayStats struct {
+	// Applied counts operations replayed into the engine.
+	Applied int
+	// Skipped counts records dropped: already covered by the snapshot
+	// watermark (Seq <= WALStartSeq), duplicates, revoked by a compensating
+	// record, or undecodable.
+	Skipped int
+	// Truncated reports whether the log had a torn tail (carried over from
+	// the wal.Recovery).
+	Truncated bool
+	// LastSeq is the highest sequence number seen; the engine's operation
+	// counter resumes past it.
+	LastSeq uint64
+}
+
+// ReplayWAL applies the recovered log records on top of the engine's restored
+// state, reconstructing the exact pre-crash demand matrix and link state, and
+// finishes by enqueueing one solve of the final matrix. Call it once, after
+// New/Restore and before serving traffic.
+//
+// Replay discipline:
+//   - records with Seq <= Config.WALStartSeq are skipped — the snapshot the
+//     engine restored from already covers them (checkpoint watermark);
+//   - records named by a revoke are skipped — the client saw them fail;
+//   - duplicate/out-of-order sequence numbers are skipped (idempotence);
+//   - link events re-run through applyLinkEvent, bumping the link version and
+//     re-drawing recovery paths with the same version-salted seeds as the
+//     original run, so the recovered path-system hash matches an engine that
+//     never crashed;
+//   - demand records only update the submitted matrix — one solve at the end
+//     serves the final state instead of replaying every intermediate epoch.
+//
+// A torn tail was already truncated by wal.Open; ReplayWAL journals it as a
+// wal_truncated event and keeps going — recovery degrades to the last good
+// record, never to a refused startup.
+func (e *Engine) ReplayWAL(rec *wal.Recovery) (*ReplayStats, error) {
+	stats := &ReplayStats{LastSeq: e.cfg.WALStartSeq}
+	if rec == nil {
+		return stats, nil
+	}
+	e.replaying.Store(true)
+	defer e.replaying.Store(false)
+
+	if rec.Truncated {
+		stats.Truncated = true
+		e.metrics.walTruncations.Add(1)
+		e.record(obs.EventWALTruncated, map[string]any{
+			"dropped_bytes": rec.DroppedBytes,
+			"good_bytes":    rec.GoodBytes,
+			"records":       len(rec.Records),
+		})
+	}
+
+	ops := make([]*walOp, 0, len(rec.Records))
+	revoked := make(map[uint64]bool)
+	for _, raw := range rec.Records {
+		op := new(walOp)
+		if err := json.Unmarshal(raw, op); err != nil {
+			stats.Skipped++
+			continue
+		}
+		if op.Op == walOpRevoke {
+			revoked[op.Ref] = true
+			if op.Seq > stats.LastSeq {
+				stats.LastSeq = op.Seq
+			}
+			continue
+		}
+		ops = append(ops, op)
+	}
+
+	applied := e.cfg.WALStartSeq
+	for _, op := range ops {
+		if op.Seq > stats.LastSeq {
+			stats.LastSeq = op.Seq
+		}
+		if op.Seq <= applied || revoked[op.Seq] {
+			stats.Skipped++
+			continue
+		}
+		if err := e.applyReplayedOp(op); err != nil {
+			stats.Skipped++
+			e.record(obs.EventSolveFailure, map[string]any{
+				"err": fmt.Sprintf("wal replay: op %d (%s): %v", op.Seq, op.Op, err),
+			})
+			continue
+		}
+		applied = op.Seq
+		stats.Applied++
+	}
+
+	// Resume the operation counter past everything ever logged, so fresh
+	// operations never reuse a replayed sequence number.
+	for {
+		cur := e.opSeq.Load()
+		if cur >= stats.LastSeq || e.opSeq.CompareAndSwap(cur, stats.LastSeq) {
+			break
+		}
+	}
+
+	// One solve serves the final reconstructed matrix (intermediate epochs
+	// are history, not state). Still inside the replaying window so the
+	// submission is not re-logged — its records are already on disk.
+	e.mu.Lock()
+	final := e.lastSubmitted
+	e.mu.Unlock()
+	if final != nil {
+		if _, err := e.SubmitDemand(final); err != nil {
+			return stats, fmt.Errorf("service: replay re-solve: %w", err)
+		}
+	}
+
+	e.metrics.walReplays.Add(1)
+	e.record(obs.EventWALReplay, map[string]any{
+		"applied":   stats.Applied,
+		"skipped":   stats.Skipped,
+		"last_seq":  stats.LastSeq,
+		"truncated": stats.Truncated,
+	})
+	return stats, nil
+}
+
+// applyReplayedOp re-applies one logged operation. Demand ops update the
+// submitted matrix only (no per-record solve); link ops run the full
+// applyLinkEvent pipeline. Validation mirrors the original accept path — a
+// record that now fails validation (it cannot, absent corruption surviving
+// the CRC) is skipped by the caller rather than aborting recovery.
+func (e *Engine) applyReplayedOp(op *walOp) error {
+	switch op.Op {
+	case walOpSubmit:
+		d := demand.New()
+		for _, en := range op.Entries {
+			if en.Amount <= 0 || math.IsNaN(en.Amount) || math.IsInf(en.Amount, 0) {
+				return fmt.Errorf("bad amount %v for pair (%d,%d)", en.Amount, en.U, en.V)
+			}
+			d.Set(en.U, en.V, en.Amount)
+		}
+		if d.SupportSize() == 0 {
+			return fmt.Errorf("empty submit record")
+		}
+		e.mu.Lock()
+		e.lastSubmitted = d
+		e.mu.Unlock()
+		return nil
+	case walOpPatch:
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.lastSubmitted == nil {
+			return fmt.Errorf("patch with no base matrix")
+		}
+		d := e.lastSubmitted.Clone()
+		for _, s := range op.Set {
+			d.Set(s.U, s.V, s.Amount)
+		}
+		for _, c := range op.Clear {
+			d.Set(c.U, c.V, 0)
+		}
+		if d.SupportSize() == 0 {
+			return fmt.Errorf("patch clears the whole demand")
+		}
+		e.lastSubmitted = d
+		return nil
+	case walOpLinks:
+		var degrade map[int]float64
+		if len(op.Caps) > 0 {
+			degrade = make(map[int]float64, len(op.Caps))
+			for _, c := range op.Caps {
+				degrade[c.Edge] = c.Capacity
+			}
+		}
+		_, err := e.applyLinkEvent(op.Fail, op.Restore, degrade, op.Replace)
+		return err
+	default:
+		return fmt.Errorf("unknown op %q", op.Op)
+	}
+}
+
+// LastSubmitted returns a copy of the most recently accepted demand matrix
+// (nil before any submission) — the state the WAL drills compare against a
+// control engine.
+func (e *Engine) LastSubmitted() *demand.Demand {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.lastSubmitted == nil {
+		return nil
+	}
+	return e.lastSubmitted.Clone()
+}
