@@ -22,6 +22,16 @@
 // congestion gap under -warm-cong-max (incremental epochs must not trade
 // away routing quality). Rows without warm measurements — older artifacts,
 // or topologies whose warm windows are empty — are skipped, never failed.
+//
+// -serving gates a BENCH_serving.json written by routedload, absolutely and
+// on the fresh artifact alone (overload behavior is a property of the build
+// under test, not a trend): reads must never have seen a 5xx or transport
+// error, every sent mutation must land in exactly one outcome bucket (the
+// accounting identity that proves nothing was silently dropped), every shed
+// or busy response must have carried Retry-After, at least one mutation must
+// have been accepted, and -read-p99-max optionally bounds the read tail
+// under load. -serving composes with or replaces the engine comparison: at
+// least one of -new / -serving is required.
 package main
 
 import (
@@ -144,6 +154,76 @@ func gateWarm(newR *report, ratioMax, congMax float64) []warmVerdict {
 	return out
 }
 
+// servingReport mirrors the BENCH_serving.json fields the gate reads;
+// unknown fields in the artifact are ignored.
+type servingReport struct {
+	Name        string  `json:"name"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	Mutations   struct {
+		Sent              int64 `json:"sent"`
+		OK                int64 `json:"ok"`
+		Shed              int64 `json:"shed"`
+		Busy              int64 `json:"busy"`
+		TooLarge          int64 `json:"too_large"`
+		MissingRetryAfter int64 `json:"missing_retry_after"`
+		ClientErrors      int64 `json:"client_errors"`
+		ServerErrors      int64 `json:"server_errors"`
+		TransportErrors   int64 `json:"transport_errors"`
+	} `json:"mutations"`
+	Reads struct {
+		Sent            int64  `json:"sent"`
+		OK              int64  `json:"ok"`
+		ServerErrors    int64  `json:"server_errors"`
+		TransportErrors int64  `json:"transport_errors"`
+		Latency         window `json:"latency"`
+	} `json:"reads"`
+}
+
+func loadServing(path string) (*servingReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r servingReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Mutations.Sent == 0 && r.Reads.Sent == 0 {
+		return nil, fmt.Errorf("%s: empty serving artifact (no traffic recorded)", path)
+	}
+	return &r, nil
+}
+
+// gateServing checks the absolute overload invariants on one serving
+// artifact and returns the violations; an empty slice passes.
+func gateServing(r *servingReport, readP99Max float64) []string {
+	var bad []string
+	if r.Reads.ServerErrors > 0 {
+		bad = append(bad, fmt.Sprintf("reads saw %d server errors (5xx); the read path must never shed", r.Reads.ServerErrors))
+	}
+	if r.Reads.TransportErrors > 0 {
+		bad = append(bad, fmt.Sprintf("reads saw %d transport errors; the daemon dropped connections under load", r.Reads.TransportErrors))
+	}
+	m := r.Mutations
+	accounted := m.OK + m.Shed + m.Busy + m.TooLarge + m.ClientErrors + m.ServerErrors + m.TransportErrors
+	if m.Sent != accounted {
+		bad = append(bad, fmt.Sprintf("mutation accounting incomplete: sent %d but only %d land in an outcome bucket", m.Sent, accounted))
+	}
+	if m.MissingRetryAfter > 0 {
+		bad = append(bad, fmt.Sprintf("%d shed/busy responses lacked Retry-After", m.MissingRetryAfter))
+	}
+	if m.ServerErrors > 0 {
+		bad = append(bad, fmt.Sprintf("mutations saw %d non-503 server errors; overload must shed, not crash", m.ServerErrors))
+	}
+	if m.Sent > 0 && m.OK == 0 {
+		bad = append(bad, "no mutation was ever accepted: the daemon shed everything, not excess")
+	}
+	if readP99Max > 0 && r.Reads.Latency.P99 > readP99Max {
+		bad = append(bad, fmt.Sprintf("read p99 %.2fms exceeds -read-p99-max %.2fms", r.Reads.Latency.P99, readP99Max))
+	}
+	return bad
+}
+
 func main() {
 	var (
 		oldPath      = flag.String("old", "BENCH_engine.json", "baseline artifact (the committed one)")
@@ -152,12 +232,42 @@ func main() {
 		floorMS      = flag.Float64("floor-ms", 0.05, "skip topologies whose baseline mean solve is below this many ms (too fast to compare)")
 		warmRatioMax = flag.Float64("warm-ratio-max", 0.75, "fail when a topology's warm/cold mean solve-latency ratio exceeds this (0 disables)")
 		warmCongMax  = flag.Float64("warm-cong-max", 0.02, "fail when a topology's worst warm-vs-cold congestion gap exceeds this (0 disables)")
+		servingPath  = flag.String("serving", "", "BENCH_serving.json from a routedload run to gate absolutely (overload invariants)")
+		readP99Max   = flag.Float64("read-p99-max", 0, "fail when the serving artifact's read p99 exceeds this many ms (0 disables)")
 	)
 	flag.Parse()
-	if *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchtrend: -new is required")
+	if *newPath == "" && *servingPath == "" {
+		fmt.Fprintln(os.Stderr, "benchtrend: need -new (engine trend) or -serving (overload gate)")
 		os.Exit(2)
 	}
+
+	servingFailed := false
+	if *servingPath != "" {
+		sr, err := loadServing(*servingPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtrend:", err)
+			os.Exit(2)
+		}
+		violations := gateServing(sr, *readP99Max)
+		fmt.Printf("benchtrend: serving  mutations sent %d ok %d shed %d busy %d, reads %d (p99 %.2fms), achieved %.1f/s\n",
+			sr.Mutations.Sent, sr.Mutations.OK, sr.Mutations.Shed, sr.Mutations.Busy,
+			sr.Reads.Sent, sr.Reads.Latency.P99, sr.AchievedQPS)
+		for _, v := range violations {
+			servingFailed = true
+			fmt.Printf("benchtrend: serving  %s  VIOLATION\n", v)
+		}
+		if !servingFailed {
+			fmt.Println("benchtrend: serving  overload invariants hold  ok")
+		}
+	}
+	if *newPath == "" {
+		if servingFailed {
+			fmt.Fprintln(os.Stderr, "benchtrend: serving overload invariants violated")
+			os.Exit(1)
+		}
+		return
+	}
+
 	oldR, err := load(*oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtrend:", err)
@@ -213,7 +323,10 @@ func main() {
 	if warmFailed {
 		fmt.Fprintln(os.Stderr, "benchtrend: warm-start pipeline out of budget")
 	}
-	if failed || warmFailed {
+	if servingFailed {
+		fmt.Fprintln(os.Stderr, "benchtrend: serving overload invariants violated")
+	}
+	if failed || warmFailed || servingFailed {
 		os.Exit(1)
 	}
 }

@@ -134,3 +134,87 @@ func TestLoadCommittedArtifact(t *testing.T) {
 		t.Fatalf("committed artifact parsed hollow: %+v", r)
 	}
 }
+
+func servingFixture() *servingReport {
+	r := &servingReport{Name: "serving", AchievedQPS: 30}
+	r.Mutations.Sent = 100
+	r.Mutations.OK = 40
+	r.Mutations.Shed = 50
+	r.Mutations.Busy = 10
+	r.Reads.Sent = 500
+	r.Reads.OK = 500
+	r.Reads.Latency = window{Count: 500, P99: 4.0}
+	return r
+}
+
+func TestGateServingPasses(t *testing.T) {
+	if v := gateServing(servingFixture(), 10); len(v) != 0 {
+		t.Fatalf("clean artifact flagged: %v", v)
+	}
+}
+
+func TestGateServingFlagsReadErrors(t *testing.T) {
+	r := servingFixture()
+	r.Reads.ServerErrors = 2
+	r.Reads.TransportErrors = 1
+	if v := gateServing(r, 0); len(v) != 2 {
+		t.Fatalf("violations %v, want read 5xx + transport", v)
+	}
+}
+
+func TestGateServingFlagsAccountingGap(t *testing.T) {
+	r := servingFixture()
+	r.Mutations.Sent = 101 // one request unaccounted for
+	if v := gateServing(r, 0); len(v) != 1 {
+		t.Fatalf("violations %v, want accounting gap", v)
+	}
+}
+
+func TestGateServingFlagsMissingRetryAfter(t *testing.T) {
+	r := servingFixture()
+	r.Mutations.MissingRetryAfter = 3
+	if v := gateServing(r, 0); len(v) != 1 {
+		t.Fatalf("violations %v, want missing Retry-After", v)
+	}
+}
+
+func TestGateServingFlagsTotalShed(t *testing.T) {
+	r := servingFixture()
+	r.Mutations.OK = 0
+	r.Mutations.Shed = 90
+	r.Mutations.Busy = 10
+	if v := gateServing(r, 0); len(v) != 1 {
+		t.Fatalf("violations %v, want all-shed flag", v)
+	}
+}
+
+func TestGateServingReadP99Budget(t *testing.T) {
+	r := servingFixture()
+	r.Reads.Latency.P99 = 25
+	if v := gateServing(r, 10); len(v) != 1 {
+		t.Fatalf("violations %v, want p99 budget", v)
+	}
+	if v := gateServing(r, 0); len(v) != 0 {
+		t.Fatalf("violations %v, p99 gate should be disabled at 0", v)
+	}
+}
+
+func TestGateServingFlagsMutationServerErrors(t *testing.T) {
+	r := servingFixture()
+	r.Mutations.OK = 39
+	r.Mutations.ServerErrors = 1
+	if v := gateServing(r, 0); len(v) != 1 {
+		t.Fatalf("violations %v, want mutation 5xx", v)
+	}
+}
+
+func TestLoadServingRejectsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_serving.json")
+	if err := os.WriteFile(path, []byte(`{"name":"serving"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadServing(path); err == nil {
+		t.Fatal("empty serving artifact accepted")
+	}
+}

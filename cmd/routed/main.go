@@ -150,6 +150,14 @@ type options struct {
 	noWarm    bool
 	warmIters int
 
+	// overload protection
+	maxBody         int64
+	inflightBytes   int64
+	tenantQPS       float64
+	tenantBurst     int
+	breakerOpens    int
+	breakerCooldown time.Duration
+
 	// fleet mode
 	fleetDir     string
 	resident     int
@@ -181,6 +189,12 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.journalDepth, "journal-depth", 0, "events retained on /debug/events (0 = default 256)")
 	fs.BoolVar(&o.noWarm, "no-warm", false, "solve every epoch from scratch: disable MWU warm starts and the PATCH delta fast path")
 	fs.IntVar(&o.warmIters, "warm-iters", 0, "fresh MWU rounds for warm-started and delta solves (0 = default 64)")
+	fs.Int64Var(&o.maxBody, "max-body", 0, "per-request body cap in bytes; larger POST/PATCH bodies get 413 (0 = default 8 MiB, negative disables)")
+	fs.Int64Var(&o.inflightBytes, "inflight-bytes", 0, "total request-body bytes decoded concurrently before mutations shed with 429 (0 = unlimited)")
+	fs.Float64Var(&o.tenantQPS, "tenant-qps", 0, "per-tenant demand-mutation quota in ops/sec: excess submits and patches shed with 429 + Retry-After; per shard in fleet mode (0 = unlimited)")
+	fs.IntVar(&o.tenantBurst, "tenant-burst", 0, "token-bucket depth for -tenant-qps (0 = ceil of the rate)")
+	fs.IntVar(&o.breakerOpens, "breaker", 0, "circuit breaker: consecutive failed solves that open it — reads serve last-known-good, mutations get 503 + Retry-After until a cooldown probe succeeds (0 = disabled)")
+	fs.DurationVar(&o.breakerCooldown, "breaker-cooldown", 0, "open-breaker cooldown before the half-open probe (0 = default 5s)")
 	fs.StringVar(&o.fleetDir, "fleet", "", "fleet mode: serve every <id>.topo.json / <id>.snap in this directory as /v1/t/<id>/... (ignores -topo/-snapshot)")
 	fs.IntVar(&o.resident, "resident", 0, "fleet mode: max engines resident at once; LRU shards snapshot to disk and reload on demand (0 = unlimited)")
 	fs.StringVar(&o.defaultShard, "default", "", "fleet mode: topology the legacy /v1/* routes alias to (default: the sole shard when exactly one exists)")
@@ -227,6 +241,12 @@ func buildEngine(o *options) (*service.Engine, *wal.Log, bool, error) {
 		JournalDepth:       o.journalDepth,
 		DisableWarmStart:   o.noWarm,
 		WarmIterations:     o.warmIters,
+		MaxBodyBytes:       o.maxBody,
+		MaxInflightBytes:   o.inflightBytes,
+		MutationRate:       o.tenantQPS,
+		MutationBurst:      o.tenantBurst,
+		BreakerThreshold:   o.breakerOpens,
+		BreakerCooldown:    o.breakerCooldown,
 	}
 	var (
 		log *wal.Log
@@ -367,6 +387,8 @@ func buildFleet(o *options) (*fleet.Fleet, error) {
 		Workers:         o.workers,
 		DisableWAL:      o.wal == "off",
 		CheckpointEvery: o.checkpointEvery,
+		TenantQPS:       o.tenantQPS,
+		TenantBurst:     o.tenantBurst,
 		Engine: service.Config{
 			R:                  o.r,
 			Seed:               o.seed,
@@ -380,6 +402,10 @@ func buildFleet(o *options) (*fleet.Fleet, error) {
 			JournalDepth:       o.journalDepth,
 			DisableWarmStart:   o.noWarm,
 			WarmIterations:     o.warmIters,
+			MaxBodyBytes:       o.maxBody,
+			MaxInflightBytes:   o.inflightBytes,
+			BreakerThreshold:   o.breakerOpens,
+			BreakerCooldown:    o.breakerCooldown,
 		},
 		Build: oblivious.BuildOptions{Dim: o.dim, Trees: o.trees, K: o.k, Seed: o.seed},
 	})

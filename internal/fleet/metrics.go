@@ -64,6 +64,24 @@ func newMetrics(f *Fleet) *Metrics {
 	m.vars.Set("queue_depth", expvar.Func(func() any {
 		return f.pool.Pending()
 	}))
+	// Shed accounting rolled up across resident shards: total shed demand
+	// mutations, the queue-full (503) share, and the admission-control share
+	// (tenant quota + inflight budget + breaker). Per-shard detail lives in
+	// each shard's nested registry; these fleet gauges are what an operator
+	// alerts on. Evicted shards' counts leave the rollup with them — the
+	// gauges track the resident fleet, not all history.
+	m.vars.Set("shed_requests", expvar.Func(func() any {
+		t, _, _ := m.shedTotals()
+		return t
+	}))
+	m.vars.Set("busy_rejects", expvar.Func(func() any {
+		_, b, _ := m.shedTotals()
+		return b
+	}))
+	m.vars.Set("admission_rejects", expvar.Func(func() any {
+		_, _, a := m.shedTotals()
+		return a
+	}))
 	m.vars.Set("cold_start_ms", expvar.Func(func() any {
 		return m.window(m.cold)
 	}))
@@ -71,6 +89,30 @@ func newMetrics(f *Fleet) *Metrics {
 		return m.window(m.warm)
 	}))
 	return m
+}
+
+// shedTotals sums shed accounting over every resident shard, holding each
+// shard's read lock across its engine access (same discipline as Health:
+// eviction must not close an engine mid-read).
+func (m *Metrics) shedTotals() (total, busy, admission int64) {
+	f := m.fleet
+	f.mu.Lock()
+	list := make([]*shard, 0, len(f.shards))
+	for _, sh := range f.shards {
+		list = append(list, sh)
+	}
+	f.mu.Unlock()
+	for _, sh := range list {
+		sh.mu.RLock()
+		if sh.engine != nil {
+			t, b, a := sh.engine.Metrics().ShedTotals()
+			total += t
+			busy += b
+			admission += a
+		}
+		sh.mu.RUnlock()
+	}
+	return total, busy, admission
 }
 
 // observeBuild records one residency build: restored=true is a warm start

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"sparseroute/internal/demand"
+	"sparseroute/internal/service"
+)
+
+// TestFleetTenantQuota verifies the per-tenant quota layer: each shard gets
+// its own token bucket (TenantQPS), a flooding tenant sheds with
+// ErrRateLimited while a sibling tenant's bucket is untouched, and the shed
+// counts roll up into the fleet-level gauges an operator alerts on.
+func TestFleetTenantQuota(t *testing.T) {
+	f := testFleet(t, []string{"hot", "cold"}, func(c *Config) {
+		c.TenantQPS = 1.0 / 60 // one mutation a minute: the second submit sheds
+		c.TenantBurst = 1
+	})
+
+	submit := func(id string) error {
+		e, err := f.Engine(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := demand.New()
+		d.Set(0, 7, 1)
+		_, err = e.SubmitDemand(d)
+		return err
+	}
+
+	if err := submit("hot"); err != nil {
+		t.Fatalf("first mutation on hot: %v", err)
+	}
+	err := submit("hot")
+	var shedErr *service.ShedError
+	if !errors.As(err, &shedErr) || !errors.Is(err, service.ErrRateLimited) {
+		t.Fatalf("second mutation on hot: %v, want ShedError{ErrRateLimited}", err)
+	}
+	// The sibling tenant's bucket is its own: still a full burst.
+	if err := submit("cold"); err != nil {
+		t.Fatalf("first mutation on cold shed by hot's flood: %v", err)
+	}
+
+	total, busy, admission := f.Metrics().shedTotals()
+	if total != 1 || admission != 1 || busy != 0 {
+		t.Fatalf("rollup total=%d busy=%d admission=%d, want 1/0/1", total, busy, admission)
+	}
+
+	// The fleet gauges render the rollup on /debug/vars.
+	var vars struct {
+		Fleet map[string]any `json:"fleet"`
+	}
+	if err := json.Unmarshal([]byte(f.Metrics().JSON()), &vars); err != nil {
+		t.Fatalf("fleet vars JSON: %v", err)
+	}
+	if got, ok := vars.Fleet["shed_requests"].(float64); !ok || got != 1 {
+		t.Fatalf("fleet shed_requests=%v, want 1", vars.Fleet["shed_requests"])
+	}
+	if got, ok := vars.Fleet["admission_rejects"].(float64); !ok || got != 1 {
+		t.Fatalf("fleet admission_rejects=%v, want 1", vars.Fleet["admission_rejects"])
+	}
+
+	// And through the Prometheus path.
+	var b strings.Builder
+	f.Metrics().Prom().WriteTo(&b)
+	if !strings.Contains(b.String(), "sparseroute_fleet_shed_requests 1") {
+		t.Fatalf("prom rollup missing shed_requests:\n%s", b.String())
+	}
+}
+
+// TestFleetQuotaZeroDisables confirms the default config admits freely.
+func TestFleetQuotaZeroDisables(t *testing.T) {
+	f := testFleet(t, []string{"a"}, nil)
+	e, err := f.Engine("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		d := demand.New()
+		d.Set(i%4, 4+i%4, 1)
+		if _, err := e.SubmitDemand(d); err != nil {
+			t.Fatalf("submit %d with no quota: %v", i, err)
+		}
+	}
+}

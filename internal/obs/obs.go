@@ -68,6 +68,10 @@ const (
 	// EventCheckpoint is a durable checkpoint: snapshot written, WAL
 	// truncated.
 	EventCheckpoint = "checkpoint"
+	// EventBreaker is a circuit-breaker state transition
+	// (closed/open/half-open), with the consecutive-failure count or probe
+	// outcome that drove it.
+	EventBreaker = "breaker"
 )
 
 // Journal is a bounded, concurrency-safe, time-ordered ring of Events. One

@@ -120,6 +120,10 @@ type Health struct {
 	AtRiskPairs int `json:"at_risk_pairs,omitempty"`
 	// DegradedSeconds is cumulative wall time spent degraded.
 	DegradedSeconds float64 `json:"degraded_seconds"`
+	// Breaker is the solver circuit breaker's state ("closed", "open",
+	// "half-open"), omitted when the breaker is disabled. Open means reads
+	// serve last-known-good while demand mutations are rejected.
+	Breaker string `json:"breaker,omitempty"`
 	// LastOutcome reports the most recently finished epoch, if any —
 	// surfacing fallback status that a bare "ok" used to hide.
 	LastOutcome *Outcome `json:"last_outcome,omitempty"`
@@ -157,6 +161,14 @@ type Engine struct {
 	tracer  *obs.Tracer
 	journal *obs.Journal
 	shard   string
+
+	// Overload protection: the mutation token bucket and the solver circuit
+	// breaker gate every demand mutation before it is logged or applied (see
+	// admission.go / breaker.go); inflight bounds the request-body bytes the
+	// HTTP layer decodes concurrently.
+	limiter  *rateLimiter
+	breaker  *breaker
+	inflight byteBudget
 
 	// original is the startup path system (sampled or restored), immutable.
 	// The compaction pass GCs accumulated recovery paths back toward it once
@@ -206,10 +218,14 @@ type Engine struct {
 
 // epochRequest is one accepted epoch's work item: the full matrix to serve
 // and, for PATCH delta epochs, the pairs that changed since the previous
-// submission (nil for full submissions).
+// submission (nil for full submissions). abandon, when non-nil, is the
+// submitting client's context: an epoch whose client is gone (disconnected,
+// or past its request deadline) by the time a worker picks it up is
+// abandoned instead of burning a solver slot on a result nobody will read.
 type epochRequest struct {
 	d       *demand.Demand
 	touched []demand.Pair
+	abandon context.Context
 }
 
 // New builds an engine: it samples the path system (offline phase) unless
@@ -305,6 +321,20 @@ func New(cfg Config) (*Engine, error) {
 		})
 	}
 	e.rootCtx, e.stop = context.WithCancel(context.Background())
+	e.limiter = newRateLimiter(cfg.MutationRate, cfg.MutationBurst)
+	e.inflight = byteBudget{max: cfg.MaxInflightBytes}
+	e.breaker = &breaker{
+		threshold: cfg.BreakerThreshold,
+		cooldown:  cfg.BreakerCooldown,
+		transition: func(from, to, reason string) {
+			if to == "open" {
+				e.metrics.breakerOpens.Add(1)
+			}
+			e.record(obs.EventBreaker, map[string]any{
+				"from": from, "to": to, "reason": reason,
+			})
+		},
+	}
 	e.metrics = newMetrics(e)
 	if cfg.Pool != nil {
 		e.pool = cfg.Pool
@@ -375,6 +405,7 @@ func (e *Engine) Health() *Health {
 		UncoveredPairs:  len(ls.uncovered),
 		AtRiskPairs:     len(ls.atRisk),
 		DegradedSeconds: e.DegradedSeconds(),
+		Breaker:         e.breaker.stateName(),
 	}
 	if st := e.Active(); st != nil {
 		h.Epoch = st.Epoch
@@ -393,13 +424,25 @@ func (e *Engine) Health() *Health {
 }
 
 // SubmitDemand validates d, assigns it the next epoch number, and enqueues
-// its solve. It returns ErrBusy when the queue is full (load shedding) and
-// ErrClosed after Close. Demands on pairs that were never installed are
-// rejected; demands on installed pairs whose candidates are currently dead
-// are accepted and served degraded (the dead pairs are dropped at solve
-// time and counted in the outcome). The solve itself runs asynchronously;
-// use Wait to observe its outcome.
+// its solve. It returns ErrBusy when the queue is full (load shedding),
+// ErrRateLimited/ErrBreakerOpen (wrapped in a *ShedError carrying the retry
+// hint) when admission control sheds the mutation, and ErrClosed after
+// Close. Demands on pairs that were never installed are rejected; demands on
+// installed pairs whose candidates are currently dead are accepted and
+// served degraded (the dead pairs are dropped at solve time and counted in
+// the outcome). The solve itself runs asynchronously; use Wait to observe
+// its outcome.
 func (e *Engine) SubmitDemand(d *demand.Demand) (uint64, error) {
+	return e.SubmitDemandCtx(context.Background(), d)
+}
+
+// SubmitDemandCtx is SubmitDemand with the submitting client's context
+// threaded through to the queued epoch: if ctx is done (client disconnected,
+// request deadline expired) before a worker picks the epoch up, the solve is
+// abandoned — counted in epochs_abandoned, outcome recorded as a fallback —
+// instead of burning a solver slot on a result nobody will read. The context
+// does not cancel a solve already running; it only guards the queue.
+func (e *Engine) SubmitDemandCtx(ctx context.Context, d *demand.Demand) (uint64, error) {
 	if len(d.Support()) == 0 {
 		return 0, fmt.Errorf("service: empty demand")
 	}
@@ -414,9 +457,15 @@ func (e *Engine) SubmitDemand(d *demand.Demand) (uint64, error) {
 	if !e.links.Load().installed.Covers(d) {
 		return 0, fmt.Errorf("service: demand has pairs with no candidate paths")
 	}
+	// Admission runs before the WAL commit: a shed mutation must leave no
+	// trace to replay, and no durable work should be spent on it.
+	if wait, err := e.admitMutation(); err != nil {
+		return 0, &ShedError{Err: err, After: wait}
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
+		e.breaker.onNeutral()
 		return 0, ErrClosed
 	}
 	// Log before apply: the submission must be durable before the client can
@@ -424,16 +473,28 @@ func (e *Engine) SubmitDemand(d *demand.Demand) (uint64, error) {
 	// revoke record so replay does not resurrect an op the client saw fail.
 	seq, err := e.commitOp(&walOp{Op: walOpSubmit, Entries: demandAmounts(d)})
 	if err != nil {
+		e.breaker.onNeutral()
 		return 0, err
 	}
-	epoch, err := e.enqueueLocked(epochRequest{d: d})
+	epoch, err := e.enqueueLocked(epochRequest{d: d, abandon: abandonCtx(ctx)})
 	if err != nil {
 		e.revokeOp(seq)
+		e.breaker.onNeutral()
 		return 0, err
 	}
 	e.lastSubmitted = d.Clone()
 	e.maybeCheckpoint()
 	return epoch, nil
+}
+
+// abandonCtx normalizes a submit context for the epoch queue: background (or
+// nil) means "never abandon" and is stored as nil so the pickup check costs
+// nothing on the common path.
+func abandonCtx(ctx context.Context) context.Context {
+	if ctx == nil || ctx == context.Background() {
+		return nil
+	}
+	return ctx
 }
 
 // enqueueLocked assigns the next epoch number to req and submits its solve.
@@ -444,6 +505,8 @@ func (e *Engine) enqueueLocked(req epochRequest) (uint64, error) {
 	if !e.pool.TrySubmit(par.Timed(func(wait time.Duration) { e.solve(epoch, req, wait) })) {
 		e.nextEpoch--
 		e.metrics.shed.Add(1)
+		e.metrics.busyRejects.Add(1)
+		e.metrics.shedRequests.Add(1)
 		return 0, ErrBusy
 	}
 	e.pending[epoch] = struct{}{}
@@ -487,6 +550,23 @@ func (e *Engine) Wait(ctx context.Context, epoch uint64) (*Outcome, error) {
 // is recorded as one obs.EpochTrace.
 func (e *Engine) solve(epoch uint64, req epochRequest, queueWait time.Duration) {
 	start := time.Now()
+	// Abandonment check at pickup: a client that disconnected or blew its
+	// request deadline while the epoch sat queued gets no solve — the worker
+	// moves straight to the next epoch. Abandonment is breaker-neutral (it
+	// says nothing about solver health) and leaves the last good routing
+	// serving, so the outcome is recorded as a fallback and any waiters wake.
+	if req.abandon != nil && req.abandon.Err() != nil {
+		e.metrics.observeQueueWait(queueWait)
+		e.metrics.epochsAbandoned.Add(1)
+		e.metrics.fallbacks.Add(1)
+		e.breaker.onNeutral()
+		e.finish(&Outcome{
+			Epoch: epoch, Fallback: true,
+			Err:     "epoch abandoned: client gone before solve started",
+			Latency: time.Since(start),
+		})
+		return
+	}
 	d := req.d
 	tr := &obs.EpochTrace{Epoch: epoch, Start: start, QueueWaitMs: ms(queueWait)}
 	mon := &solveMonitor{epoch: epoch, tracer: e.tracer}
@@ -505,6 +585,7 @@ func (e *Engine) solve(epoch uint64, req epochRequest, queueWait time.Duration) 
 			})
 			if !finished {
 				e.metrics.fallbacks.Add(1)
+				e.breaker.onFailure()
 				e.finish(&Outcome{
 					Epoch: epoch, Fallback: true,
 					Err:     fmt.Sprintf("solver panic: %v", p),
@@ -634,6 +715,7 @@ func (e *Engine) solve(epoch uint64, req epochRequest, queueWait time.Duration) 
 		out.OK = true
 		out.Congestion = cong
 		e.metrics.observeSolve(out.Latency, cong)
+		e.breaker.onSuccess()
 	case errors.Is(err, context.DeadlineExceeded):
 		tr.Outcome = obs.OutcomeCanceled
 		out.Fallback = true
@@ -641,18 +723,24 @@ func (e *Engine) solve(epoch uint64, req epochRequest, queueWait time.Duration) 
 		e.metrics.deadlineMissed.Add(1)
 		e.metrics.observeCanceled(out.Latency)
 		e.metrics.fallbacks.Add(1)
+		// A missed deadline counts toward the breaker: a solver that can
+		// never finish inside the budget is poisoned for this engine's
+		// purposes even if it would eventually converge.
+		e.breaker.onFailure()
 	case errors.Is(err, context.Canceled):
 		tr.Outcome = obs.OutcomeCanceled
 		out.Fallback = true
 		out.Err = "solve canceled: engine closing"
 		e.metrics.observeCanceled(out.Latency)
 		e.metrics.fallbacks.Add(1)
+		e.breaker.onNeutral()
 	default:
 		tr.Outcome = obs.OutcomeFallback
 		out.Fallback = true
 		out.Err = err.Error()
 		e.metrics.failed.Add(1)
 		e.metrics.fallbacks.Add(1)
+		e.breaker.onFailure()
 		e.record(obs.EventSolveFailure, map[string]any{
 			"epoch": epoch, "err": err.Error(), "retries": out.Retries,
 		})

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"time"
 
 	"sparseroute/internal/demand"
 	"sparseroute/internal/obs"
@@ -19,7 +21,12 @@ import (
 //
 //	POST /v1/demand        submit a demand epoch (serial.DemandJSON body);
 //	                       ?wait=1 (any strconv boolean) blocks until the
-//	                       epoch resolves; absent or ?wait=0 returns 202
+//	                       epoch resolves; absent or ?wait=0 returns 202.
+//	                       ?deadline=DURATION abandons the epoch if no solver
+//	                       worker has picked it up by then (202 is still
+//	                       returned; the outcome records the abandonment);
+//	                       with ?wait=1 the client's own disconnect abandons
+//	                       the queued epoch the same way
 //	PATCH /v1/demand       submit per-pair deltas against the last submitted
 //	                       matrix: {"set":[{"u":0,"v":3,"amount":2}],
 //	                       "clear":[{"u":1,"v":2}]}. The merged matrix is the
@@ -43,17 +50,24 @@ import (
 //	GET  /metrics          Prometheus text exposition of the expvar registry
 //	GET  /healthz          ok / degraded (failed or capacity-degraded edges,
 //	                       uncovered pairs) / 503 closed, plus the last epoch
-//	                       outcome
+//	                       outcome and the circuit-breaker state
+//
+// Overload behavior: every POST/PATCH body is capped at Config.MaxBodyBytes
+// (413 beyond it); demand mutations pass the engine's admission control —
+// token-bucket rate limit and inflight-bytes budget shed with 429 +
+// Retry-After, an open circuit breaker and a full solve queue shed with 503
+// + Retry-After — while GETs and link events are never shed.
 type Server struct {
 	engine       *Engine
 	snapshotPath string
+	maxBody      int64 // per-request body cap; <= 0 disables
 	mux          *http.ServeMux
 }
 
 // NewServer wires the engine's handlers. snapshotPath may be empty, which
 // disables POST /v1/snapshot.
 func NewServer(e *Engine, snapshotPath string) *Server {
-	s := &Server{engine: e, snapshotPath: snapshotPath, mux: http.NewServeMux()}
+	s := &Server{engine: e, snapshotPath: snapshotPath, maxBody: e.cfg.MaxBodyBytes, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/demand", s.handleDemand)
 	s.mux.HandleFunc("PATCH /v1/demand", s.handlePatchDemand)
 	s.mux.HandleFunc("GET /v1/paths", s.handlePaths)
@@ -82,6 +96,111 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, never below 1 (a zero would tell clients to hammer).
+func retryAfterSeconds(d time.Duration) string {
+	s := int64((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return strconv.FormatInt(s, 10)
+}
+
+// limitBody caps r's body at the configured MaxBodyBytes. Reading past the
+// cap yields an *http.MaxBytesError the decode paths map to 413.
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) {
+	if s.maxBody > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+}
+
+// bodyTooLarge detects the MaxBytesReader cap in a decode error and writes
+// the 413, reporting whether it handled the error.
+func (s *Server) bodyTooLarge(w http.ResponseWriter, err error) bool {
+	var mbe *http.MaxBytesError
+	if !errors.As(err, &mbe) {
+		return false
+	}
+	s.engine.metrics.bodyTooLarge.Add(1)
+	writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+	return true
+}
+
+// acquireBody admits r's body against the engine's inflight-bytes budget,
+// returning a release func, or writes the 429 and returns false. Bodies of
+// unknown length (chunked encoding) are admitted — the MaxBytesReader cap
+// still bounds each of them individually.
+func (s *Server) acquireBody(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	n := r.ContentLength
+	if n <= 0 {
+		return func() {}, true
+	}
+	if !s.engine.inflight.acquire(n) {
+		s.engine.metrics.inflightRejects.Add(1)
+		s.engine.metrics.shedRequests.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "inflight request-body budget exhausted, retry shortly")
+		return nil, false
+	}
+	return func() { s.engine.inflight.release(n) }, true
+}
+
+// writeSubmitError maps a demand-mutation error to its status, attaching the
+// Retry-After hint every shed path carries: 429 for rate-limit and budget
+// sheds, 503 for a full queue or an open breaker, 409 for a patch with no
+// base, 400 otherwise.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	var shed *ShedError
+	switch {
+	case errors.As(err, &shed):
+		w.Header().Set("Retry-After", retryAfterSeconds(shed.After))
+		code := http.StatusTooManyRequests
+		if errors.Is(shed.Err, ErrBreakerOpen) {
+			// The breaker is a server-side fault, not a client over budget.
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, "%v", err)
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrNoBaseDemand):
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// expiringContext is a context that is Done after d with no cancel
+// obligation: the queued epoch it guards outlives the HTTP request that
+// created it, so the usual cancel-on-handler-return contract cannot apply.
+// The timer fires exactly once and frees itself.
+func expiringContext(d time.Duration) context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(d, cancel)
+	return ctx
+}
+
+// submitContext resolves the abandon context for a demand mutation: an
+// explicit ?deadline=DURATION wins; otherwise a waiting client's own request
+// context (gone when it disconnects); otherwise none. The error is a
+// malformed deadline (400, already written).
+func (s *Server) submitContext(w http.ResponseWriter, r *http.Request, wait bool) (context.Context, bool) {
+	if dp := r.URL.Query().Get("deadline"); dp != "" {
+		dur, err := time.ParseDuration(dp)
+		if err != nil || dur <= 0 {
+			writeError(w, http.StatusBadRequest, "deadline must be a positive duration, got %q", dp)
+			return nil, false
+		}
+		return expiringContext(dur), true
+	}
+	if wait {
+		return r.Context(), true
+	}
+	return context.Background(), true
 }
 
 // demandResponse is the POST/PATCH /v1/demand reply.
@@ -131,21 +250,27 @@ func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.limitBody(w, r)
+	release, ok := s.acquireBody(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	d, err := serial.DecodeDemand(r.Body)
 	if err != nil {
+		if s.bodyTooLarge(w, err) {
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	epoch, err := s.engine.SubmitDemand(d)
-	switch {
-	case errors.Is(err, ErrBusy):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	actx, ok := s.submitContext(w, r, wait)
+	if !ok {
 		return
-	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case err != nil:
-		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	epoch, err := s.engine.SubmitDemandCtx(actx, d)
+	if err != nil {
+		s.writeSubmitError(w, err)
 		return
 	}
 	if !wait {
@@ -196,8 +321,17 @@ func (s *Server) handlePatchDemand(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.limitBody(w, r)
+	release, ok := s.acquireBody(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	var req demandPatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if s.bodyTooLarge(w, err) {
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decoding demand patch: %v", err)
 		return
 	}
@@ -209,16 +343,13 @@ func (s *Server) handlePatchDemand(w http.ResponseWriter, r *http.Request) {
 	for _, c := range req.Clear {
 		clear = append(clear, PairRef{U: c.U, V: c.V})
 	}
-	epoch, err := s.engine.PatchDemand(set, clear)
-	switch {
-	case errors.Is(err, ErrNoBaseDemand):
-		writeError(w, http.StatusConflict, "%v", err)
+	actx, ok := s.submitContext(w, r, wait)
+	if !ok {
 		return
-	case errors.Is(err, ErrBusy), errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case err != nil:
-		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	epoch, err := s.engine.PatchDemandCtx(actx, set, clear)
+	if err != nil {
+		s.writeSubmitError(w, err)
 		return
 	}
 	if !wait {
@@ -382,8 +513,15 @@ func (s *Server) linksJSON(u *LinkUpdate) linksResponse {
 }
 
 func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request) {
+	// Link events are body-capped like every mutation but never admission-
+	// gated: repairing the topology is how an operator recovers an engine
+	// that shedding and the breaker are protecting.
+	s.limitBody(w, r)
 	var req linksRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if s.bodyTooLarge(w, err) {
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decoding link event: %v", err)
 		return
 	}

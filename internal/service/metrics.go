@@ -50,6 +50,16 @@ type Metrics struct {
 	checkpoints    expvar.Int // snapshot + WAL truncation checkpoints
 	solvePanics    expvar.Int // solver panics recovered in the epoch worker
 
+	// Overload protection (admission control + circuit breaker).
+	shedRequests    expvar.Int // every shed mutation: busy + rate-limited + breaker + inflight budget
+	busyRejects     expvar.Int // mutations shed because the solve queue was full (503)
+	rateLimited     expvar.Int // mutations shed by the token-bucket rate limit (429)
+	inflightRejects expvar.Int // requests shed by the inflight-bytes budget (429)
+	bodyTooLarge    expvar.Int // request bodies over MaxBodyBytes (413)
+	epochsAbandoned expvar.Int // queued epochs skipped because their client was gone
+	breakerOpens    expvar.Int // closed/half-open -> open transitions
+	breakerRejects  expvar.Int // mutations rejected while the breaker was open
+
 	mu    sync.Mutex
 	lat   *stats.Ring // solve latencies, seconds
 	cong  *stats.Ring // per-epoch congestion
@@ -90,6 +100,20 @@ func newMetrics(e *Engine) *Metrics {
 	m.vars.Set("wal_truncations", &m.walTruncations)
 	m.vars.Set("checkpoints", &m.checkpoints)
 	m.vars.Set("solve_panics", &m.solvePanics)
+	m.vars.Set("shed_requests", &m.shedRequests)
+	m.vars.Set("busy_rejects", &m.busyRejects)
+	m.vars.Set("rate_limited", &m.rateLimited)
+	m.vars.Set("inflight_rejects", &m.inflightRejects)
+	m.vars.Set("body_too_large", &m.bodyTooLarge)
+	m.vars.Set("epochs_abandoned", &m.epochsAbandoned)
+	m.vars.Set("breaker_opens", &m.breakerOpens)
+	m.vars.Set("breaker_rejects", &m.breakerRejects)
+	m.vars.Set("breaker_state", expvar.Func(func() any {
+		return e.breaker.snapshot()
+	}))
+	m.vars.Set("inflight_bytes", expvar.Func(func() any {
+		return e.inflight.Inflight()
+	}))
 	m.vars.Set("wal_records", expvar.Func(func() any {
 		if w := e.cfg.WAL; w != nil {
 			return w.Records()
@@ -220,3 +244,13 @@ func (m *Metrics) JSON() string { return m.vars.String() }
 // Prometheus translation). Gauges are expvar.Func closures computed at call
 // time; the map itself is safe for concurrent iteration.
 func (m *Metrics) Vars() *expvar.Map { return m.vars }
+
+// ShedTotals reports the engine's shed accounting for fleet-level rollups:
+// total shed mutations, the queue-full (503) share, and the admission-control
+// share (rate limit + inflight budget + breaker rejections).
+func (m *Metrics) ShedTotals() (total, busy, admission int64) {
+	total = m.shedRequests.Value()
+	busy = m.busyRejects.Value()
+	admission = m.rateLimited.Value() + m.inflightRejects.Value() + m.breakerRejects.Value()
+	return total, busy, admission
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,10 +27,18 @@ type PairRef struct {
 // still matches the previous solve.
 //
 // It returns ErrNoBaseDemand before any successful SubmitDemand (a delta
-// needs a base), ErrBusy/ErrClosed like SubmitDemand, and a validation error
-// for self-pairs, out-of-range endpoints, or non-finite amounts — validation
-// happens before anything is merged, so a rejected patch changes nothing.
+// needs a base), ErrBusy/ErrClosed/ErrRateLimited/ErrBreakerOpen like
+// SubmitDemand, and a validation error for self-pairs, out-of-range
+// endpoints, or non-finite amounts — validation happens before anything is
+// merged, so a rejected patch changes nothing.
 func (e *Engine) PatchDemand(set []PairAmount, clear []PairRef) (uint64, error) {
+	return e.PatchDemandCtx(context.Background(), set, clear)
+}
+
+// PatchDemandCtx is PatchDemand with the submitting client's context
+// threaded through to the queued epoch (see SubmitDemandCtx): a patch whose
+// client is gone by worker pickup is abandoned instead of solved.
+func (e *Engine) PatchDemandCtx(ctx context.Context, set []PairAmount, clear []PairRef) (uint64, error) {
 	if len(set) == 0 && len(clear) == 0 {
 		return 0, fmt.Errorf("service: empty patch (need set or clear entries)")
 	}
@@ -56,13 +65,20 @@ func (e *Engine) PatchDemand(set []PairAmount, clear []PairRef) (uint64, error) 
 			return 0, err
 		}
 	}
+	// Admission before the WAL commit, exactly like SubmitDemandCtx: a shed
+	// patch leaves no trace to replay.
+	if wait, err := e.admitMutation(); err != nil {
+		return 0, &ShedError{Err: err, After: wait}
+	}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
+		e.breaker.onNeutral()
 		return 0, ErrClosed
 	}
 	if e.lastSubmitted == nil {
+		e.breaker.onNeutral()
 		return 0, ErrNoBaseDemand
 	}
 	d := e.lastSubmitted.Clone()
@@ -96,11 +112,13 @@ func (e *Engine) PatchDemand(set []PairAmount, clear []PairRef) (uint64, error) 
 	}
 	seq, err := e.commitOp(op)
 	if err != nil {
+		e.breaker.onNeutral()
 		return 0, err
 	}
-	epoch, err := e.enqueueLocked(epochRequest{d: d, touched: touched})
+	epoch, err := e.enqueueLocked(epochRequest{d: d, touched: touched, abandon: abandonCtx(ctx)})
 	if err != nil {
 		e.revokeOp(seq)
+		e.breaker.onNeutral()
 		return 0, err
 	}
 	e.lastSubmitted = d
